@@ -1,0 +1,88 @@
+// Package hotnoc reproduces "Hotspot Prevention Through Runtime
+// Reconfiguration in Network-On-Chip" (Link & Vijaykrishnan, DATE 2005):
+// a Network-on-Chip running an LDPC decoder periodically migrates its
+// logical workload plane by an algebraic transformation — rotation,
+// mirroring or translation — so hotspot-inducing computation moves around
+// the die and the thermal profile flattens.
+//
+// The package is a façade over the full simulation stack:
+//
+//   - internal/geom       plane transformations (Table 1) and permutations
+//   - internal/floorplan  4.36 mm²-per-PE mesh floorplans
+//   - internal/thermal    HotSpot-style RC thermal model
+//   - internal/power      160 nm activity-based power + leakage
+//   - internal/noc        cycle-accurate wormhole mesh simulator
+//   - internal/ldpc       min-sum LDPC codec
+//   - internal/appmap     the decoder distributed across PEs as NoC traffic
+//   - internal/place      thermally-aware simulated-annealing placement
+//   - internal/core       migration schemes, phased state transfer,
+//     I/O address translation, runtime manager
+//   - internal/chipcfg    the paper's test-chip configurations A-E
+//
+// Typical use:
+//
+//	built, _ := hotnoc.BuildConfig("A", 1)
+//	res, _ := built.System.Run(hotnoc.RunConfig{Scheme: hotnoc.XYShift()})
+//	fmt.Printf("peak %.2f°C -> %.2f°C\n", res.BaselinePeakC, res.MigratedPeakC)
+package hotnoc
+
+import (
+	"hotnoc/internal/chipcfg"
+	"hotnoc/internal/core"
+)
+
+// Re-exported core types, so downstream users need only this package.
+type (
+	// Scheme is a migration policy (one of the paper's five).
+	Scheme = core.Scheme
+	// RunConfig selects the scheme, migration period and ablations for a
+	// System.Run evaluation.
+	RunConfig = core.RunConfig
+	// RunResult is the baseline-versus-migrated comparison for one run.
+	RunResult = core.RunResult
+	// System is a fully wired test chip (workload, NoC, thermal model,
+	// migration machinery).
+	System = core.System
+	// Spec declares a test-chip configuration.
+	Spec = chipcfg.Spec
+	// Built is a calibrated, ready-to-run configuration.
+	Built = chipcfg.Built
+	// ReactiveConfig configures threshold-triggered (sensor-driven)
+	// migration, the library's extension of the paper's periodic policy.
+	ReactiveConfig = core.ReactiveConfig
+	// ReactiveResult summarises a reactive run.
+	ReactiveResult = core.ReactiveResult
+)
+
+// The paper's five migration schemes.
+var (
+	Rot        = core.Rot
+	XMirror    = core.XMirrorScheme
+	XYMirror   = core.XYMirrorScheme
+	RightShift = core.RightShift
+	XYShift    = core.XYShift
+)
+
+// Schemes returns all five schemes in the paper's Figure 1 order.
+func Schemes() []Scheme { return core.AllSchemes() }
+
+// SchemeByName resolves a scheme from a CLI-style name such as "rot" or
+// "x-y shift".
+func SchemeByName(name string) (Scheme, error) { return core.SchemeByName(name) }
+
+// Configs returns the five test-chip configuration specs (A-E).
+func Configs() []Spec { return chipcfg.Specs() }
+
+// ConfigByName returns one configuration spec by letter.
+func ConfigByName(name string) (Spec, error) { return chipcfg.ByName(name) }
+
+// BuildConfig assembles and calibrates a configuration. scale divides the
+// workload size for quick runs (1 = the full paper-scale configuration;
+// 8 is a good smoke-test size).
+func BuildConfig(name string, scale int) (*Built, error) {
+	spec, err := chipcfg.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Scaled(scale).Build()
+}

@@ -1,0 +1,176 @@
+package hotnoc
+
+import (
+	"sync"
+	"testing"
+
+	"hotnoc/internal/core"
+	"hotnoc/internal/geom"
+)
+
+// Benchmarks double as the experiment harness: each one regenerates a
+// table or figure of the paper at full scale and reports the headline
+// quantity as a benchmark metric alongside the runtime. Builds are cached
+// per configuration so repeated benchmarks measure the experiment, not
+// the construction pipeline.
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]*Built{}
+)
+
+func fullBuild(b *testing.B, name string) *Built {
+	b.Helper()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if bl, ok := buildCache[name]; ok {
+		return bl
+	}
+	bl, err := BuildConfig(name, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildCache[name] = bl
+	return bl
+}
+
+// BenchmarkFigure1 regenerates every bar of Figure 1 (peak-temperature
+// reduction per scheme per circuit configuration, one-block period).
+func BenchmarkFigure1(b *testing.B) {
+	for _, cfg := range []string{"A", "B", "C", "D", "E"} {
+		for _, s := range Schemes() {
+			s := s
+			built := fullBuild(b, cfg)
+			b.Run(cfg+"/"+s.Name, func(b *testing.B) {
+				var last RunResult
+				for i := 0; i < b.N; i++ {
+					res, err := built.System.Run(RunConfig{Scheme: s})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.ReductionC, "°C-reduction")
+				b.ReportMetric(last.BaselinePeakC, "°C-base")
+				b.ReportMetric(last.ThroughputPenalty*100, "%-penalty")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1Means regenerates the §3 scheme averages (paper:
+// X-Y shift 4.62 °C, rotation 4.15 °C mean peak reduction).
+func BenchmarkFigure1Means(b *testing.B) {
+	var res *Figure1Result
+	for i := 0; i < b.N; i++ {
+		r, err := RunFigure1(1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.MeanReductionC["X-Y Shift"], "°C-xyshift-mean")
+	b.ReportMetric(res.MeanReductionC["Rot"], "°C-rot-mean")
+}
+
+// BenchmarkPeriodSweep regenerates the §3 migration-period study
+// (109.3 µs -> 1.6 % penalty; 437.2 µs -> <0.4 % and peak +<0.1 °C;
+// 874.4 µs -> <0.2 %) as 1/4/8-block periods on configuration A.
+func BenchmarkPeriodSweep(b *testing.B) {
+	for _, blocks := range []int{1, 4, 8} {
+		blocks := blocks
+		built := fullBuild(b, "A")
+		b.Run(map[int]string{1: "1block", 4: "4blocks", 8: "8blocks"}[blocks], func(b *testing.B) {
+			var last RunResult
+			for i := 0; i < b.N; i++ {
+				res, err := built.System.Run(RunConfig{Scheme: XYShift(), BlocksPerPeriod: blocks})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.ThroughputPenalty*100, "%-penalty")
+			b.ReportMetric(last.MigratedPeakC, "°C-peak")
+			b.ReportMetric(last.PeriodSec*1e6, "µs-period")
+		})
+	}
+}
+
+// BenchmarkMigrationEnergy regenerates the §3 rotation-energy observation
+// on configuration E: migration energy raises the average chip temperature
+// (paper: +0.3 °C) and pushes rotation's peak reduction negative.
+func BenchmarkMigrationEnergy(b *testing.B) {
+	built := fullBuild(b, "E")
+	var with, without RunResult
+	for i := 0; i < b.N; i++ {
+		w, err := built.System.Run(RunConfig{Scheme: Rot()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wo, err := built.System.Run(RunConfig{Scheme: Rot(), ExcludeMigrationEnergy: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = w, wo
+	}
+	b.ReportMetric(with.MigratedMeanC-without.MigratedMeanC, "°C-mean-penalty")
+	b.ReportMetric(with.ReductionC, "°C-rot-reduction")
+	b.ReportMetric(with.MigrationEnergyJ*1e6, "µJ-per-cycle")
+}
+
+// BenchmarkTable1Transforms measures the paper's Table 1 transformation
+// functions themselves — the hardware the migration unit implements with
+// "3-bit operands" — applied across a full 5x5 plane.
+func BenchmarkTable1Transforms(b *testing.B) {
+	g := geom.NewGrid(5, 5)
+	transforms := []geom.Transform{
+		geom.Rotation(5), geom.XMirror(5), geom.XTranslate(5, 1),
+	}
+	coords := g.Coords()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range transforms {
+			for _, c := range coords {
+				_ = tr.Apply(g, c)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationReactive compares the library's sensor-triggered
+// migration policy against the paper's periodic policy on configuration A:
+// a threshold midway between the static and migrated peaks should cap the
+// temperature near the periodic result at a fraction of the migrations.
+func BenchmarkAblationReactive(b *testing.B) {
+	built := fullBuild(b, "A")
+	periodic, err := built.System.Run(RunConfig{Scheme: XYShift()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trigger := (periodic.BaselinePeakC + periodic.MigratedPeakC) / 2
+	var last ReactiveResult
+	for i := 0; i < b.N; i++ {
+		res, err := built.System.RunReactive(ReactiveConfig{
+			Scheme: XYShift(), TriggerC: trigger, SimBlocks: 512, WarmupBlocks: 256,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.PeakC, "°C-peak")
+	b.ReportMetric(float64(last.Migrations), "migrations/256blk")
+	b.ReportMetric(last.ThroughputPenalty*100, "%-penalty")
+	b.ReportMetric(periodic.ThroughputPenalty*100, "%-periodic-penalty")
+}
+
+// BenchmarkPhasePlanner measures the congestion-free migration planner,
+// the component that must be fast enough to run at every reconfiguration.
+func BenchmarkPhasePlanner(b *testing.B) {
+	g := geom.NewGrid(5, 5)
+	perm := geom.FromTransform(g, geom.Rotation(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PlanPhases(g, perm)
+	}
+}

@@ -1,0 +1,73 @@
+// Command figure1 regenerates Figure 1 of the paper: the reduction in peak
+// temperature achieved by each migration scheme on each circuit
+// configuration, plus the §3 scheme averages.
+//
+// Usage:
+//
+//	figure1 [-scale N] [-configs A,B,C,D,E] [-csv] [-bars]
+//
+// -scale divides the workload size (1 = full paper scale, slower; 8 is a
+// quick smoke run). -csv emits machine-readable output; -bars renders the
+// figure as text bar charts per configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hotnoc"
+	"hotnoc/internal/report"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+	configs := flag.String("configs", "A,B,C,D,E", "comma-separated configuration letters")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	bars := flag.Bool("bars", false, "also render per-configuration bar charts")
+	flag.Parse()
+
+	names := strings.Split(*configs, ",")
+	res, err := hotnoc.RunFigure1(*scale, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+
+	if *asCSV {
+		tb := report.NewTable("config", "base_peak_c", "scheme", "reduction_c",
+			"migrated_peak_c", "throughput_penalty")
+		for _, row := range res.Rows {
+			for _, c := range row.Cells {
+				tb.AddRow(row.Config, row.BasePeakC, c.Scheme, c.ReductionC,
+					c.MigratedPeakC, c.ThroughputPenalty)
+			}
+		}
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "figure1:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("Figure 1 — Reduction in Peak Temps (°C)")
+	fmt.Println()
+	fmt.Print(res.Table())
+	fmt.Println()
+	fmt.Printf("paper means: X-Y Shift 4.62 °C, Rot 4.15 °C\n")
+	fmt.Printf("ours:        X-Y Shift %.2f °C, Rot %.2f °C\n",
+		res.MeanReductionC["X-Y Shift"], res.MeanReductionC["Rot"])
+
+	if *bars {
+		for _, row := range res.Rows {
+			fmt.Printf("\nconfiguration %s (base %.2f °C):\n", row.Config, row.BasePeakC)
+			labels := make([]string, len(row.Cells))
+			values := make([]float64, len(row.Cells))
+			for i, c := range row.Cells {
+				labels[i], values[i] = c.Scheme, c.ReductionC
+			}
+			fmt.Print(report.Bar(labels, values, "°C"))
+		}
+	}
+}

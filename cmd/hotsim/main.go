@@ -1,0 +1,73 @@
+// Command hotsim runs one complete evaluation: a chip configuration under
+// one migration scheme, reporting baseline versus migrated peak and mean
+// temperatures, throughput penalty, migration energy, and per-leg details.
+//
+// Usage:
+//
+//	hotsim [-config A] [-scheme rot] [-blocks 1] [-scale N] [-nomigenergy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotnoc"
+	"hotnoc/internal/report"
+)
+
+func main() {
+	config := flag.String("config", "A", "configuration letter (A-E)")
+	schemeName := flag.String("scheme", "x-y shift", "migration scheme (rot, x mirror, x-y mirror, right shift, x-y shift)")
+	blocks := flag.Int("blocks", 1, "migration period in LDPC blocks")
+	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+	noMigEnergy := flag.Bool("nomigenergy", false, "exclude migration energy (ablation)")
+	flag.Parse()
+
+	scheme, err := hotnoc.SchemeByName(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotsim:", err)
+		os.Exit(1)
+	}
+	built, err := hotnoc.BuildConfig(*config, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotsim:", err)
+		os.Exit(1)
+	}
+	res, err := built.System.Run(hotnoc.RunConfig{
+		Scheme:                 scheme,
+		BlocksPerPeriod:        *blocks,
+		ExcludeMigrationEnergy: *noMigEnergy,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotsim:", err)
+		os.Exit(1)
+	}
+
+	g := built.System.Grid
+	fmt.Printf("configuration %s (%dx%d, energy scale %.2f, block %d cycles ≈ %.1f µs)\n",
+		*config, g.W, g.H, built.EnergyScale, built.BlockCycles,
+		float64(built.BlockCycles)/built.System.ClockHz*1e6)
+	fmt.Printf("scheme %s, period %d block(s) ≈ %.1f µs\n\n", scheme.Name, *blocks, res.PeriodSec*1e6)
+
+	fmt.Printf("baseline peak  %.2f °C at block %d (mean %.2f °C)\n",
+		res.BaselinePeakC, res.BaselinePeakAt, res.BaselineMeanC)
+	fmt.Printf("migrated peak  %.2f °C at block %d (mean %.2f °C)\n",
+		res.MigratedPeakC, res.MigratedPeakAt, res.MigratedMeanC)
+	fmt.Printf("reduction      %.2f °C\n", res.ReductionC)
+	fmt.Printf("throughput     %.2f %% penalty\n", res.ThroughputPenalty*100)
+	fmt.Printf("migration      %.2f µJ per thermal cycle\n\n", res.MigrationEnergyJ*1e6)
+
+	tb := report.NewTable("leg", "decode cycles", "mig cycles", "phases", "transfers",
+		"decode µJ", "migration µJ")
+	for i, leg := range res.Legs {
+		tb.AddRow(i, leg.DecodeCycles, leg.Migration.Cycles, leg.Migration.Phases,
+			leg.Migration.Transfers, leg.DecodeEnergyJ*1e6, leg.MigrationEnergyJ*1e6)
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println("\nbaseline max temperatures (°C):")
+	fmt.Print(report.HeatMap(g.W, g.H, res.BaselineMaxTemps, "°C"))
+	fmt.Println("\nmigrated max temperatures (°C):")
+	fmt.Print(report.HeatMap(g.W, g.H, res.MigratedMaxTemps, "°C"))
+}

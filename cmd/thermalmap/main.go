@@ -1,0 +1,49 @@
+// Command thermalmap renders the thermal effect of runtime reconfiguration
+// side by side: each block's maximum temperature over the static baseline
+// and over the migrated quasi-steady cycle, for one configuration and
+// scheme.
+//
+// Usage:
+//
+//	thermalmap [-config E] [-scheme "x-y shift"] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotnoc"
+	"hotnoc/internal/report"
+)
+
+func main() {
+	config := flag.String("config", "E", "configuration letter (A-E)")
+	schemeName := flag.String("scheme", "x-y shift", "migration scheme")
+	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+	flag.Parse()
+
+	scheme, err := hotnoc.SchemeByName(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermalmap:", err)
+		os.Exit(1)
+	}
+	built, err := hotnoc.BuildConfig(*config, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermalmap:", err)
+		os.Exit(1)
+	}
+	res, err := built.System.Run(hotnoc.RunConfig{Scheme: scheme})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermalmap:", err)
+		os.Exit(1)
+	}
+
+	g := built.System.Grid
+	fmt.Printf("configuration %s under %s (period %.1f µs)\n\n", *config, scheme.Name, res.PeriodSec*1e6)
+	fmt.Printf("static baseline — peak %.2f °C:\n", res.BaselinePeakC)
+	fmt.Print(report.HeatMap(g.W, g.H, res.BaselineMaxTemps, "°C"))
+	fmt.Printf("\nwith runtime reconfiguration — peak %.2f °C (%+.2f °C):\n",
+		res.MigratedPeakC, -res.ReductionC)
+	fmt.Print(report.HeatMap(g.W, g.H, res.MigratedMaxTemps, "°C"))
+}

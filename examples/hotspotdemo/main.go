@@ -1,0 +1,39 @@
+// hotspotdemo shows the paper's central observation visually: a central
+// hotspot (configuration E) that rotation cannot relieve — the centre PE
+// is a fixed point of rotation and mirroring on odd-dimensioned arrays —
+// while a diagonal translation disperses it.
+//
+//	go run ./examples/hotspotdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotnoc"
+	"hotnoc/internal/report"
+)
+
+func main() {
+	built, err := hotnoc.BuildConfig("E", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := built.System.Grid
+
+	fmt.Println("configuration E: 5x5 chip with hotspots near the die centre")
+	fmt.Println("(rotation and mirroring fix the centre PE on odd arrays)")
+
+	for _, scheme := range []hotnoc.Scheme{hotnoc.Rot(), hotnoc.XYShift()} {
+		res, err := built.System.Run(hotnoc.RunConfig{Scheme: scheme})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s: peak %.2f °C -> %.2f °C (Δ %.2f °C) ---\n",
+			scheme.Name, res.BaselinePeakC, res.MigratedPeakC, res.ReductionC)
+		fmt.Print(report.HeatMap(g.W, g.H, res.MigratedMaxTemps, "°C"))
+	}
+
+	fmt.Println("\nrotation leaves the central band essentially untouched;")
+	fmt.Println("the X-Y shift walks it across the whole die and flattens the profile.")
+}

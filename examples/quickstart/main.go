@@ -1,0 +1,46 @@
+// Quickstart: build one of the paper's test chips, run it with and without
+// runtime reconfiguration, and print the headline comparison.
+//
+//	go run ./examples/quickstart
+//
+// Uses a reduced workload (scale 8) so it finishes in a couple of seconds;
+// pass the real experiments through cmd/figure1 for paper-scale numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotnoc"
+)
+
+func main() {
+	// Configuration A: the 4x4 LDPC test chip, calibrated so its static
+	// thermally-aware placement peaks at the paper's 85.44 °C.
+	built, err := hotnoc.BuildConfig("A", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("chip: 4x4 NoC, %.1f µs per LDPC block, 40 °C ambient\n\n",
+		float64(built.BlockCycles)/built.System.ClockHz*1e6)
+
+	// Evaluate every migration scheme at the base one-block period.
+	fmt.Printf("%-12s %10s %10s %9s\n", "scheme", "peak (°C)", "Δpeak (°C)", "penalty")
+	for _, scheme := range hotnoc.Schemes() {
+		res, err := built.System.Run(hotnoc.RunConfig{Scheme: scheme})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10.2f %10.2f %8.2f%%\n",
+			scheme.Name, res.MigratedPeakC, -res.ReductionC, res.ThroughputPenalty*100)
+	}
+
+	res, err := built.System.Run(hotnoc.RunConfig{Scheme: hotnoc.XYShift()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstatic placement peaks at %.2f °C; migrating the workload plane\n", res.BaselinePeakC)
+	fmt.Printf("diagonally every block cuts the peak by %.2f °C for a %.2f%% throughput cost.\n",
+		res.ReductionC, res.ThroughputPenalty*100)
+}

@@ -1,0 +1,201 @@
+package hotnoc
+
+import (
+	"fmt"
+
+	"hotnoc/internal/geom"
+	"hotnoc/internal/report"
+)
+
+// Figure1Cell is one bar of the paper's Figure 1: one migration scheme on
+// one circuit configuration.
+type Figure1Cell struct {
+	Scheme string
+	// ReductionC is the peak-temperature reduction versus the static
+	// thermally-aware placement (the figure's y-axis).
+	ReductionC float64
+	// MigratedPeakC and ThroughputPenalty add context beyond the figure.
+	MigratedPeakC     float64
+	ThroughputPenalty float64
+}
+
+// Figure1Row is one circuit configuration's group of bars.
+type Figure1Row struct {
+	Config string
+	// BasePeakC is the configuration's base temperature (x-axis label).
+	BasePeakC float64
+	Cells     []Figure1Cell
+}
+
+// Figure1Result is the full reproduction of Figure 1 plus the §3 scheme
+// averages.
+type Figure1Result struct {
+	Rows []Figure1Row
+	// MeanReductionC maps scheme name to its average reduction across all
+	// configurations (paper: X-Y shift 4.62 °C, rotation 4.15 °C).
+	MeanReductionC map[string]float64
+}
+
+// RunFigure1 regenerates Figure 1: every migration scheme on every circuit
+// configuration, at the base one-block migration period. scale divides the
+// workload size (1 = paper scale); configs limits the set (nil = A-E).
+func RunFigure1(scale int, configs []string) (*Figure1Result, error) {
+	if configs == nil {
+		configs = []string{"A", "B", "C", "D", "E"}
+	}
+	out := &Figure1Result{MeanReductionC: map[string]float64{}}
+	for _, name := range configs {
+		built, err := BuildConfig(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure1Row{Config: name, BasePeakC: built.StaticPeakC}
+		for _, s := range Schemes() {
+			res, err := built.System.Run(RunConfig{Scheme: s})
+			if err != nil {
+				return nil, fmt.Errorf("config %s scheme %s: %w", name, s.Name, err)
+			}
+			row.Cells = append(row.Cells, Figure1Cell{
+				Scheme:            s.Name,
+				ReductionC:        res.ReductionC,
+				MigratedPeakC:     res.MigratedPeakC,
+				ThroughputPenalty: res.ThroughputPenalty,
+			})
+			out.MeanReductionC[s.Name] += res.ReductionC / float64(len(configs))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table renders the figure as an aligned text table (configurations as
+// rows, schemes as columns, reductions in °C).
+func (f *Figure1Result) Table() string {
+	headers := []string{"Config (base °C)"}
+	for _, s := range Schemes() {
+		headers = append(headers, s.Name)
+	}
+	tb := report.NewTable(headers...)
+	for _, row := range f.Rows {
+		vals := []any{fmt.Sprintf("%s (%.2f)", row.Config, row.BasePeakC)}
+		for _, c := range row.Cells {
+			vals = append(vals, c.ReductionC)
+		}
+		tb.AddRow(vals...)
+	}
+	means := []any{"mean"}
+	for _, s := range Schemes() {
+		means = append(means, f.MeanReductionC[s.Name])
+	}
+	tb.AddRow(means...)
+	return tb.String()
+}
+
+// PeriodPoint is one entry of the paper's migration-period study (§3).
+type PeriodPoint struct {
+	// Blocks is the migration period in decoded LDPC blocks (the paper's
+	// 109.3 / 437.2 / 874.4 µs correspond to 1 / 4 / 8 blocks).
+	Blocks int
+	// PeriodSec is the measured average period.
+	PeriodSec float64
+	// ThroughputPenalty is migration downtime over total time.
+	ThroughputPenalty float64
+	// PeakC is the quasi-steady peak temperature at this period.
+	PeakC float64
+	// PeakRiseC is the peak increase versus the shortest period studied.
+	PeakRiseC float64
+}
+
+// RunPeriodSweep regenerates the migration-period trade-off on one
+// configuration with one scheme: longer periods cut the throughput penalty
+// while the peak temperature rises only marginally.
+func RunPeriodSweep(config string, scheme Scheme, blocks []int, scale int) ([]PeriodPoint, error) {
+	if len(blocks) == 0 {
+		blocks = []int{1, 4, 8}
+	}
+	built, err := BuildConfig(config, scale)
+	if err != nil {
+		return nil, err
+	}
+	var out []PeriodPoint
+	for _, b := range blocks {
+		res, err := built.System.Run(RunConfig{Scheme: scheme, BlocksPerPeriod: b})
+		if err != nil {
+			return nil, fmt.Errorf("period %d blocks: %w", b, err)
+		}
+		out = append(out, PeriodPoint{
+			Blocks:            b,
+			PeriodSec:         res.PeriodSec,
+			ThroughputPenalty: res.ThroughputPenalty,
+			PeakC:             res.MigratedPeakC,
+		})
+	}
+	for i := range out {
+		out[i].PeakRiseC = out[i].PeakC - out[0].PeakC
+	}
+	return out, nil
+}
+
+// EnergyStudy quantifies one scheme's reconfiguration energy penalty by
+// comparing runs with and without migration energy (the ablation behind
+// the paper's "+0.3 °C average chip temperature" rotation observation).
+type EnergyStudy struct {
+	Scheme string
+	// MeanWithC / MeanWithoutC are average chip temperatures with and
+	// without migration energy; DeltaMeanC is the penalty.
+	MeanWithC, MeanWithoutC, DeltaMeanC float64
+	// ReductionWithC / ReductionWithoutC are the corresponding peak
+	// reductions.
+	ReductionWithC, ReductionWithoutC float64
+	// MigrationEnergyJ is the per-thermal-cycle migration energy.
+	MigrationEnergyJ float64
+	// MigrationCycles is the average migration duration in cycles.
+	MigrationCycles int64
+}
+
+// RunMigrationEnergy regenerates the migration-energy ablation for every
+// scheme on one configuration (the paper highlights rotation on E).
+func RunMigrationEnergy(config string, scale int) ([]EnergyStudy, error) {
+	built, err := BuildConfig(config, scale)
+	if err != nil {
+		return nil, err
+	}
+	var out []EnergyStudy
+	for _, s := range Schemes() {
+		with, err := built.System.Run(RunConfig{Scheme: s})
+		if err != nil {
+			return nil, err
+		}
+		without, err := built.System.Run(RunConfig{Scheme: s, ExcludeMigrationEnergy: true})
+		if err != nil {
+			return nil, err
+		}
+		var cycles int64
+		for _, leg := range with.Legs {
+			cycles += leg.Migration.Cycles
+		}
+		cycles /= int64(len(with.Legs))
+		out = append(out, EnergyStudy{
+			Scheme:            s.Name,
+			MeanWithC:         with.MigratedMeanC,
+			MeanWithoutC:      without.MigratedMeanC,
+			DeltaMeanC:        with.MigratedMeanC - without.MigratedMeanC,
+			ReductionWithC:    with.ReductionC,
+			ReductionWithoutC: without.ReductionC,
+			MigrationEnergyJ:  with.MigrationEnergyJ,
+			MigrationCycles:   cycles,
+		})
+	}
+	return out, nil
+}
+
+// Table1 returns the paper's Table 1 as printable rows, alongside the live
+// transform definitions for an n x n grid so readers can verify the code
+// implements exactly the published functions.
+func Table1(n int) string {
+	tb := report.NewTable("Function", "New X Coordinate", "New Y Coordinate", "Implementation")
+	tb.AddRow("Rotation", "N-1-Y", "X", geom.Rotation(n).String())
+	tb.AddRow("X Mirroring", "N-1-X", "Y", geom.XMirror(n).String())
+	tb.AddRow("X Translation", "X + Offset", "Y", geom.XTranslate(n, 1).String())
+	return tb.String()
+}

@@ -1,0 +1,202 @@
+package appmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotnoc/internal/geom"
+	"hotnoc/internal/noc"
+)
+
+func synthWorkload(n int, seed int64) *SyntheticWorkload {
+	r := rand.New(rand.NewSource(seed))
+	w := &SyntheticWorkload{
+		Ops:     make([]int64, n),
+		Traffic: make([][]int64, n),
+	}
+	for i := range w.Ops {
+		w.Ops[i] = int64(50 + r.Intn(200))
+		w.Traffic[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && r.Float64() < 0.3 {
+				w.Traffic[i][j] = int64(1 + r.Intn(40))
+			}
+		}
+	}
+	return w
+}
+
+func synthEngine(t testing.TB, n int, seed int64) *SyntheticEngine {
+	t.Helper()
+	net, err := noc.New(geom.NewGrid(n, n), noc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSyntheticEngine(synthWorkload(n*n, seed), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSyntheticRoundCompletes: every batch arrives and the network drains.
+func TestSyntheticRoundCompletes(t *testing.T) {
+	e := synthEngine(t, 4, 1)
+	cycles, err := e.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Fatalf("round took %d cycles", cycles)
+	}
+	if e.Net.Busy() {
+		t.Fatal("network not empty after round")
+	}
+	// Every nonzero traffic entry produced exactly one delivered packet.
+	want := int64(0)
+	for _, row := range e.W.Traffic {
+		for _, v := range row {
+			if v > 0 {
+				want++
+			}
+		}
+	}
+	if e.Net.Stats.PacketsDelivered != want {
+		t.Fatalf("%d packets delivered, want %d", e.Net.Stats.PacketsDelivered, want)
+	}
+}
+
+// TestSyntheticDeterministicRounds: round duration is cycle-identical
+// across repetitions at a fixed placement.
+func TestSyntheticDeterministicRounds(t *testing.T) {
+	e := synthEngine(t, 4, 2)
+	first, err := e.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c, err := e.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != first {
+			t.Fatalf("round %d took %d cycles, first took %d", i+1, c, first)
+		}
+	}
+}
+
+// TestSyntheticPlacementMovesActivity: PE ops follow the placement, the
+// property runtime reconfiguration depends on.
+func TestSyntheticPlacementMovesActivity(t *testing.T) {
+	e := synthEngine(t, 4, 3)
+	if _, err := e.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	identityOps := append([]uint64(nil), e.Net.Act.PEOps...)
+
+	e2 := synthEngine(t, 4, 3)
+	place := make([]int, 16)
+	for i := range place {
+		place[i] = 15 - i // point reflection
+	}
+	if err := e2.SetPlacement(place); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 16; l++ {
+		if e2.Net.Act.PEOps[15-l] != identityOps[l] {
+			t.Fatalf("ops of logical PE %d did not follow placement", l)
+		}
+	}
+}
+
+// TestSyntheticHeavierWorkloadSlower: more compute per PE lengthens the
+// round.
+func TestSyntheticHeavierWorkloadSlower(t *testing.T) {
+	base := synthEngine(t, 4, 4)
+	baseCycles, err := base.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	heavyW := synthWorkload(16, 4)
+	for i := range heavyW.Ops {
+		heavyW.Ops[i] *= 4
+	}
+	net, err := noc.New(geom.NewGrid(4, 4), noc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := NewSyntheticEngine(heavyW, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyCycles, err := heavy.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavyCycles <= baseCycles {
+		t.Fatalf("4x compute did not lengthen the round: %d vs %d", heavyCycles, baseCycles)
+	}
+}
+
+// TestSyntheticValidation covers the workload and engine error paths.
+func TestSyntheticValidation(t *testing.T) {
+	net, err := noc.New(geom.NewGrid(2, 2), noc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []*SyntheticWorkload{
+		{},
+		{Ops: make([]int64, 4), Traffic: make([][]int64, 2)},
+		{Ops: []int64{1, 1, 1, -1}, Traffic: zeros(4)},
+		{Ops: make([]int64, 4), Traffic: selfTraffic(4)},
+		{Ops: make([]int64, 4), Traffic: negTraffic(4)},
+	}
+	for i, w := range bad {
+		if _, err := NewSyntheticEngine(w, net); err == nil {
+			t.Errorf("bad workload %d accepted", i)
+		}
+	}
+	// PE count mismatch.
+	if _, err := NewSyntheticEngine(&SyntheticWorkload{
+		Ops: make([]int64, 9), Traffic: zeros(9),
+	}, net); err == nil {
+		t.Error("PE-count mismatch accepted")
+	}
+	// Bad placements.
+	good, err := NewSyntheticEngine(&SyntheticWorkload{Ops: make([]int64, 4), Traffic: zeros(4)}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.SetPlacement([]int{0, 0, 1, 2}); err == nil {
+		t.Error("non-bijective placement accepted")
+	}
+	if err := good.SetPlacement([]int{0, 1}); err == nil {
+		t.Error("short placement accepted")
+	}
+}
+
+func zeros(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	return m
+}
+
+func selfTraffic(n int) [][]int64 {
+	m := zeros(n)
+	m[1][1] = 3
+	return m
+}
+
+func negTraffic(n int) [][]int64 {
+	m := zeros(n)
+	m[0][1] = -2
+	return m
+}

@@ -1,0 +1,361 @@
+// Package chipcfg defines the paper's five test-chip configurations. The
+// 4x4 chip is evaluated in two configurations (A, B) and the 5x5 chip in
+// three (C, D, E); per the paper, the configurations differ in "the
+// irregularity of the communication patterns and the amount of computation
+// mapped to a single PE". Here each configuration is an LDPC code plus a
+// Tanner-graph partition with its own compute skew and communication
+// weighting; every configuration is placed with the thermally-aware
+// annealer and its energy table is calibrated so the static placement's
+// peak temperature matches the paper's reported base temperature
+// (Figure 1: A 85.44 °C, B 84.05 °C, C 75.17 °C, D 72.80 °C, E 75.98 °C)
+// at the 40 °C HotSpot ambient.
+package chipcfg
+
+import (
+	"fmt"
+	"math"
+
+	"hotnoc/internal/appmap"
+	"hotnoc/internal/core"
+	"hotnoc/internal/floorplan"
+	"hotnoc/internal/geom"
+	"hotnoc/internal/ldpc"
+	"hotnoc/internal/noc"
+	"hotnoc/internal/place"
+	"hotnoc/internal/power"
+	"hotnoc/internal/thermal"
+)
+
+// Spec declares one test-chip configuration.
+type Spec struct {
+	// Name is the paper's configuration letter.
+	Name string
+	// GridN is the mesh dimension (4 or 5).
+	GridN int
+	// BasePeakC is the paper's static-placement peak temperature the
+	// energy calibration targets.
+	BasePeakC float64
+
+	// Code geometry.
+	CodeN, CodeM, ColWeight int
+	CodeSeed                int64
+
+	// Partition skew: HeavyPEs logical PEs receive HeavyShare of the
+	// check nodes and VarShare of the variable nodes ("amount of
+	// computation mapped to a single PE").
+	HeavyPEs   int
+	HeavyShare float64
+	VarShare   float64
+	PartSeed   int64
+
+	// CommWeight is the placement's communication-versus-temperature
+	// trade-off; a high weight pulls heavily-communicating PEs toward the
+	// die centre (configuration E's central hotspots).
+	CommWeight float64
+	// IOWeight anchors variable-heavy PEs near the chip's I/O interface
+	// (LLR streaming); a high weight produces the banded, off-centre hot
+	// structures of the 4x4 configurations.
+	IOWeight float64
+	// IOAtCorner places the I/O interface at the south-west corner pad
+	// ring instead of the south edge centre.
+	IOAtCorner bool
+	PlaceSeed  int64
+	PlaceIters int
+
+	// Decoder and workload.
+	MaxIter  int
+	SNRdB    float64
+	ChanSeed int64
+
+	// StateFlits is the per-PE configuration+state transferred at each
+	// migration (block-boundary migrations keep it small, §3).
+	StateFlits int
+}
+
+// Specs returns the five paper configurations, scaled so one block decode
+// lands near the paper's 109.3 µs base migration period at the 250 MHz
+// NoC clock.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "A", GridN: 4, BasePeakC: 85.44,
+			CodeN: 2560, CodeM: 1280, ColWeight: 3, CodeSeed: 1001,
+			HeavyPEs: 4, HeavyShare: 0.55, VarShare: 0.50, PartSeed: 2001,
+			CommWeight: 1.2e-3, IOWeight: 3.0e-3, IOAtCorner: true, PlaceSeed: 3001, PlaceIters: 20000,
+			MaxIter: 16, SNRdB: 2.5, ChanSeed: 4001,
+			StateFlits: 128,
+		},
+		{
+			Name: "B", GridN: 4, BasePeakC: 84.05,
+			CodeN: 2560, CodeM: 1280, ColWeight: 3, CodeSeed: 1002,
+			HeavyPEs: 3, HeavyShare: 0.45, VarShare: 0.40, PartSeed: 2002,
+			CommWeight: 0.8e-3, IOWeight: 2.5e-3, IOAtCorner: true, PlaceSeed: 3002, PlaceIters: 20000,
+			MaxIter: 16, SNRdB: 2.5, ChanSeed: 4002,
+			StateFlits: 128,
+		},
+		{
+			Name: "C", GridN: 5, BasePeakC: 75.17,
+			CodeN: 4000, CodeM: 2000, ColWeight: 3, CodeSeed: 1003,
+			HeavyPEs: 5, HeavyShare: 0.40, VarShare: 0.35, PartSeed: 2003,
+			CommWeight: 0.8e-3, IOWeight: 3.0e-3, PlaceSeed: 3003, PlaceIters: 25000,
+			MaxIter: 16, SNRdB: 2.5, ChanSeed: 4003,
+			StateFlits: 128,
+		},
+		{
+			Name: "D", GridN: 5, BasePeakC: 72.80,
+			CodeN: 4000, CodeM: 2000, ColWeight: 3, CodeSeed: 1004,
+			HeavyPEs: 6, HeavyShare: 0.45, VarShare: 0.35, PartSeed: 2004,
+			CommWeight: 0.8e-3, IOWeight: 2.5e-3, PlaceSeed: 3004, PlaceIters: 25000,
+			MaxIter: 16, SNRdB: 2.5, ChanSeed: 4004,
+			StateFlits: 128,
+		},
+		{
+			Name: "E", GridN: 5, BasePeakC: 75.98,
+			CodeN: 4000, CodeM: 2000, ColWeight: 3, CodeSeed: 1005,
+			HeavyPEs: 4, HeavyShare: 0.50, VarShare: 0.40, PartSeed: 2005,
+			CommWeight: 8e-3, IOWeight: 0, PlaceSeed: 3005, PlaceIters: 25000,
+			MaxIter: 16, SNRdB: 2.5, ChanSeed: 4005,
+			StateFlits: 128,
+		},
+	}
+}
+
+// ByName returns the configuration with the given letter.
+func ByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("chipcfg: unknown configuration %q (want A..E)", name)
+}
+
+// Scaled returns a copy with the code size and annealing effort divided by
+// f (minimum sizes preserved) — used by tests to keep full-pipeline runs
+// fast while preserving every code path.
+func (s Spec) Scaled(f int) Spec {
+	if f <= 1 {
+		return s
+	}
+	out := s
+	out.CodeN = maxInt(s.GridN*s.GridN*10, s.CodeN/f)
+	out.CodeM = maxInt(s.GridN*s.GridN*5, s.CodeM/f)
+	out.MaxIter = maxInt(4, s.MaxIter/f)
+	out.PlaceIters = maxInt(2000, s.PlaceIters/f)
+	// Blocks shrink with the code, so the migrated state must shrink too
+	// or migration overhead would dwarf the reduced workload.
+	out.StateFlits = maxInt(8, s.StateFlits/f)
+	return out
+}
+
+// ioCoord returns the mesh position adjacent to the chip's I/O pads.
+func (s Spec) ioCoord(g geom.Grid) geom.Coord {
+	if s.IOAtCorner {
+		return geom.Coord{X: 0, Y: 0}
+	}
+	return geom.Coord{X: g.W / 2, Y: 0}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Built is a fully assembled, calibrated system plus its metadata.
+type Built struct {
+	Spec   Spec
+	System *core.System
+	// EnergyScale is the calibration factor applied to the 160 nm table.
+	EnergyScale float64
+	// StaticPeakC is the calibrated static peak (should match BasePeakC).
+	StaticPeakC float64
+	// BlockCycles is the baseline block decode duration.
+	BlockCycles int64
+	// PlaceResult is the thermally-aware placement outcome.
+	PlaceResult place.Result
+}
+
+// Build assembles and calibrates the configuration.
+func (s Spec) Build() (*Built, error) {
+	g := geom.NewGrid(s.GridN, s.GridN)
+
+	code, err := ldpc.NewRegular(s.CodeN, s.CodeM, s.ColWeight, s.CodeSeed)
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: code: %w", s.Name, err)
+	}
+	part, err := appmap.SkewedBoth(code, g.N(), s.HeavyPEs, s.HeavyShare, s.VarShare, s.PartSeed)
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: partition: %w", s.Name, err)
+	}
+	net, err := noc.New(g, noc.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: network: %w", s.Name, err)
+	}
+	eng, err := appmap.NewEngine(code, part, net)
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: engine: %w", s.Name, err)
+	}
+	eng.MaxIter = s.MaxIter
+
+	fp := floorplan.NewMesh(g)
+	tn, err := thermal.NewNetwork(fp, thermal.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: thermal: %w", s.Name, err)
+	}
+	inf, err := thermal.NewInfluence(tn)
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: influence: %w", s.Name, err)
+	}
+
+	// Thermally-aware placement on the unit-scale compute power profile
+	// (the scale cancels out of the argmax).
+	baseEnergy := power.Default160nm()
+	ops := appmap.OpsPerPE(code, part)
+	pePower := make([]float64, g.N())
+	for i, o := range ops {
+		pePower[i] = float64(o) * baseEnergy.PEOpJ
+	}
+	ioTraffic := make([]int64, g.N())
+	for v := 0; v < code.N; v++ {
+		ioTraffic[part.VarPE[v]]++ // one LLR in and one decision out per variable
+	}
+	pl, err := place.Anneal(&place.Problem{
+		Grid: g, Inf: inf, PEPower: pePower,
+		Traffic: appmap.TrafficMatrix(code, part), CommWeight: s.CommWeight,
+		IOTraffic: ioTraffic, IOCoord: s.ioCoord(g), IOWeight: s.IOWeight,
+	}, place.Options{Seed: s.PlaceSeed, Iters: s.PlaceIters})
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: placement: %w", s.Name, err)
+	}
+
+	// Workload block (deterministic).
+	ch, err := ldpc.NewChannel(s.SNRdB, code.Rate(), s.ChanSeed)
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: channel: %w", s.Name, err)
+	}
+	cw, err := code.Encode(make([]uint8, code.K()))
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: encode: %w", s.Name, err)
+	}
+	llr := ch.Transmit(cw)
+
+	// Reference activity at the placed configuration for calibration.
+	if err := eng.SetPlacement(pl.Place); err != nil {
+		return nil, fmt.Errorf("chipcfg %s: placement apply: %w", s.Name, err)
+	}
+	net.ResetStats()
+	blk, err := eng.Decode(llr)
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: calibration decode: %w", s.Name, err)
+	}
+	const clockHz = 250e6
+	dur := float64(blk.Cycles) / clockHz
+	unitPower := net.Act.PowerMap(baseEnergy, dur)
+
+	leak := power.DefaultLeakage()
+	scale, staticPeak, err := calibrateScale(tn, unitPower, leak, s.BasePeakC)
+	if err != nil {
+		return nil, fmt.Errorf("chipcfg %s: calibration: %w", s.Name, err)
+	}
+
+	mig := core.NewMigrator(net)
+	mig.StateFlits = s.StateFlits
+
+	sys := &core.System{
+		Grid:         g,
+		IdleFrac:     0.5,
+		Therm:        tn,
+		Energy:       baseEnergy.Scale(scale),
+		Leak:         leak,
+		ClockHz:      clockHz,
+		Engine:       eng,
+		Migrator:     mig,
+		InitialPlace: pl.Place,
+		BlockSource:  func(leg int) []ldpc.LLR { return llr },
+		IO:           core.NewIOTranslator(g),
+	}
+	return &Built{
+		Spec:        s,
+		System:      sys,
+		EnergyScale: scale,
+		StaticPeakC: staticPeak,
+		BlockCycles: blk.Cycles,
+		PlaceResult: pl,
+	}, nil
+}
+
+// calibrateScale finds the energy-table multiplier at which the static
+// power map (plus temperature-dependent leakage, iterated to a fixed
+// point) produces exactly the target steady-state peak temperature.
+// The leakage-closed peak is strictly increasing in the scale, so
+// bisection converges unconditionally within the bracket.
+func calibrateScale(tn *thermal.Network, unitPower []float64, leak power.Leakage, targetC float64) (scale, peakC float64, err error) {
+	ss, err := thermal.NewSteadySolver(tn)
+	if err != nil {
+		return 0, 0, err
+	}
+	peakAt := func(s float64) (float64, bool) {
+		temps := make([]float64, len(unitPower))
+		for i := range temps {
+			temps[i] = tn.Par.AmbientC
+		}
+		pm := make([]float64, len(unitPower))
+		for it := 0; it < 200; it++ {
+			for i := range pm {
+				pm[i] = s*unitPower[i] + leak.At(temps[i])
+			}
+			next := ss.Solve(pm)
+			d := 0.0
+			for i := range next {
+				if dd := math.Abs(next[i] - temps[i]); dd > d {
+					d = dd
+				}
+				if math.IsNaN(next[i]) || math.IsInf(next[i], 0) || next[i] > 400 {
+					return 0, false // electrothermal runaway at this scale
+				}
+			}
+			temps = next
+			if d < 1e-6 {
+				break
+			}
+		}
+		p, _ := thermal.Peak(temps)
+		return p, true
+	}
+
+	lo, hi := 0.0, 1.0
+	for {
+		p, ok := peakAt(hi)
+		if !ok {
+			break // runaway: target is certainly below hi
+		}
+		if p >= targetC {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > 1e9 {
+			return 0, 0, fmt.Errorf("chipcfg: cannot reach %g °C even at scale %g", targetC, hi)
+		}
+	}
+	for it := 0; it < 80; it++ {
+		mid := (lo + hi) / 2
+		p, ok := peakAt(mid)
+		if !ok || p > targetC {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	scale = (lo + hi) / 2
+	peakC, ok := peakAt(scale)
+	if !ok {
+		return 0, 0, fmt.Errorf("chipcfg: calibration landed in runaway region")
+	}
+	if math.Abs(peakC-targetC) > 0.05 {
+		return 0, 0, fmt.Errorf("chipcfg: calibration reached %.3f °C, target %.3f", peakC, targetC)
+	}
+	return scale, peakC, nil
+}

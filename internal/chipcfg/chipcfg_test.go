@@ -1,0 +1,186 @@
+package chipcfg
+
+import (
+	"math"
+	"testing"
+
+	"hotnoc/internal/core"
+	"hotnoc/internal/floorplan"
+	"hotnoc/internal/geom"
+	"hotnoc/internal/power"
+	"hotnoc/internal/thermal"
+)
+
+// TestSpecsMatchPaper pins the configuration roster against the paper:
+// two 4x4 configurations, three 5x5, with Figure 1's base temperatures.
+func TestSpecsMatchPaper(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("%d configurations, want 5", len(specs))
+	}
+	want := map[string]struct {
+		n    int
+		base float64
+	}{
+		"A": {4, 85.44}, "B": {4, 84.05},
+		"C": {5, 75.17}, "D": {5, 72.80}, "E": {5, 75.98},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected configuration %q", s.Name)
+		}
+		if s.GridN != w.n {
+			t.Errorf("%s: grid %d, want %d", s.Name, s.GridN, w.n)
+		}
+		if s.BasePeakC != w.base {
+			t.Errorf("%s: base %g, want %g", s.Name, s.BasePeakC, w.base)
+		}
+		delete(want, s.Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"A", "B", "C", "D", "E"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("F"); err == nil {
+		t.Error("unknown configuration accepted")
+	}
+}
+
+func TestScaledPreservesStructure(t *testing.T) {
+	s, _ := ByName("C")
+	r := s.Scaled(8)
+	if r.GridN != s.GridN || r.Name != s.Name || r.BasePeakC != s.BasePeakC {
+		t.Fatal("Scaled changed identity fields")
+	}
+	if r.CodeN >= s.CodeN || r.CodeN < s.GridN*s.GridN*10 {
+		t.Fatalf("Scaled code size %d out of range", r.CodeN)
+	}
+	if s.Scaled(1).CodeN != s.CodeN {
+		t.Fatal("Scaled(1) should be a no-op")
+	}
+}
+
+// TestBuildScaledCalibrates runs the full build pipeline on reduced-size
+// configurations: the static peak must hit the paper's base temperature
+// and the placement must be a bijection.
+func TestBuildScaledCalibrates(t *testing.T) {
+	for _, name := range []string{"A", "E"} {
+		spec, _ := ByName(name)
+		b, err := spec.Scaled(8).Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(b.StaticPeakC-spec.BasePeakC) > 0.05 {
+			t.Errorf("%s: calibrated peak %.3f, want %.2f", name, b.StaticPeakC, spec.BasePeakC)
+		}
+		if b.EnergyScale <= 0 {
+			t.Errorf("%s: non-positive energy scale", name)
+		}
+		if b.BlockCycles <= 0 {
+			t.Errorf("%s: block cycles %d", name, b.BlockCycles)
+		}
+		seen := make([]bool, b.System.Grid.N())
+		for _, p := range b.System.InitialPlace {
+			if p < 0 || p >= len(seen) || seen[p] {
+				t.Fatalf("%s: initial placement not a bijection", name)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestBuildDeterministic: the pipeline is reproducible end to end.
+func TestBuildDeterministic(t *testing.T) {
+	spec, _ := ByName("B")
+	spec = spec.Scaled(8)
+	a, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyScale != b.EnergyScale || a.BlockCycles != b.BlockCycles {
+		t.Fatalf("builds differ: scale %g/%g cycles %d/%d",
+			a.EnergyScale, b.EnergyScale, a.BlockCycles, b.BlockCycles)
+	}
+	for i := range a.System.InitialPlace {
+		if a.System.InitialPlace[i] != b.System.InitialPlace[i] {
+			t.Fatal("placements differ across identical builds")
+		}
+	}
+}
+
+// TestScaledRunEndToEnd exercises a complete scheme evaluation on a
+// reduced configuration — the fastest full-pipeline integration test.
+func TestScaledRunEndToEnd(t *testing.T) {
+	spec, _ := ByName("A")
+	b, err := spec.Scaled(8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.System.Run(core.RunConfig{Scheme: core.XYShift()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BaselinePeakC-spec.BasePeakC) > 0.5 {
+		t.Errorf("baseline peak %.2f far from calibration target %.2f",
+			res.BaselinePeakC, spec.BasePeakC)
+	}
+	if res.ReductionC <= 0 {
+		t.Errorf("X-Y shift reduction %.3f on scaled A, want positive", res.ReductionC)
+	}
+	if res.ThroughputPenalty <= 0 || res.ThroughputPenalty > 0.3 {
+		t.Errorf("throughput penalty %.4f implausible", res.ThroughputPenalty)
+	}
+}
+
+// TestCalibrateScaleMonotoneTarget: calibration hits different targets
+// with monotone scales.
+func TestCalibrateScaleMonotoneTarget(t *testing.T) {
+	g := geom.NewGrid(4, 4)
+	tn, err := thermal.NewNetwork(floorplan.NewMesh(g), thermal.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := make([]float64, g.N())
+	for i := range unit {
+		unit[i] = 0.05
+	}
+	unit[5] = 0.3
+	leak := power.DefaultLeakage()
+	s60, p60, err := calibrateScale(tn, unit, leak, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s80, p80, err := calibrateScale(tn, unit, leak, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p60-60) > 0.05 || math.Abs(p80-80) > 0.05 {
+		t.Fatalf("calibration misses: %.3f for 60, %.3f for 80", p60, p80)
+	}
+	if s80 <= s60 {
+		t.Fatalf("scale not monotone in target: %g for 60, %g for 80", s60, s80)
+	}
+}
+
+// TestCalibrateScaleUnreachable: an absurd target fails loudly.
+func TestCalibrateScaleUnreachable(t *testing.T) {
+	g := geom.NewGrid(2, 2)
+	tn, err := thermal.NewNetwork(floorplan.NewMesh(g), thermal.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := []float64{0.01, 0.01, 0.01, 0.01}
+	// Below ambient can never be reached by adding power.
+	if _, _, err := calibrateScale(tn, unit, power.DefaultLeakage(), 35); err == nil {
+		t.Fatal("sub-ambient target accepted")
+	}
+}

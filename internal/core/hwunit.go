@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hotnoc/internal/geom"
+)
+
+// HWFunc selects the migration unit's datapath operation. The paper (§2.3)
+// notes that one unit performs all migration functions "with only minor
+// changes to the mathematical operations", so the function select is a
+// runtime register, not a synthesis parameter.
+type HWFunc uint8
+
+// Datapath operations of the hardware migration unit.
+const (
+	HWIdentity HWFunc = iota
+	HWRotate          // x' = N-1-y, y' = x  (Table 1: Rotation)
+	HWMirrorX         // x' = N-1-x          (Table 1: X Mirroring)
+	HWMirrorY         // y' = N-1-y
+	HWShift           // x' = x+offX mod N, y' = y+offY mod N (Table 1: X Translation, generalised)
+)
+
+func (f HWFunc) String() string {
+	switch f {
+	case HWIdentity:
+		return "identity"
+	case HWRotate:
+		return "rotate"
+	case HWMirrorX:
+		return "mirror-x"
+	case HWMirrorY:
+		return "mirror-y"
+	case HWShift:
+		return "shift"
+	default:
+		return fmt.Sprintf("HWFunc(%d)", uint8(f))
+	}
+}
+
+// HWMigrationUnit is a register-transfer-level model of the paper's
+// migration unit: two W-bit operand registers, one adder/subtractor, a
+// complement stage (N-1 - v), a swap multiplexer and a conditional modulo
+// subtractor. W = ceil(log2 N) bits per operand — 3 bits address up to 64
+// PEs (§2.3) — and every intermediate value is masked to the datapath
+// width, so the model fails loudly if a function would overflow the
+// hardware registers.
+//
+// OpCounts accumulates datapath activity for energy estimation; the unit
+// is combinational in a real implementation, so its latency is a single
+// cycle regardless of function.
+type HWMigrationUnit struct {
+	// N is the array dimension (N x N PEs).
+	N uint8
+	// W is the operand width in bits.
+	W uint8
+	// Func is the currently selected operation.
+	Func HWFunc
+	// OffX, OffY are the translation offsets for HWShift.
+	OffX, OffY uint8
+
+	// OpCounts tracks datapath events since the last reset.
+	OpCounts struct {
+		Adds        uint64 // adder/subtractor activations
+		Complements uint64 // N-1-v stages
+		Swaps       uint64 // operand swap mux activations
+		Mods        uint64 // conditional modulo subtractions
+		Lookups     uint64 // total coordinate translations
+	}
+}
+
+// NewHWMigrationUnit sizes the datapath for an n x n array.
+// It returns an error if n needs more than 6 operand bits (64 PEs per
+// axis would exceed the paper's stated 3-bit-per-axis, 64-PE envelope...
+// the unit scales, but 8 bits is the model's register width ceiling).
+func NewHWMigrationUnit(n int) (*HWMigrationUnit, error) {
+	if n < 2 || n > 64 {
+		return nil, fmt.Errorf("core: migration unit supports 2..64 PEs per axis, got %d", n)
+	}
+	w := uint8(bits.Len8(uint8(n - 1)))
+	return &HWMigrationUnit{N: uint8(n), W: w}, nil
+}
+
+// Select reconfigures the unit's function at runtime (§2.3: "dynamic
+// alteration of the migration function at runtime").
+func (u *HWMigrationUnit) Select(f HWFunc, offX, offY uint8) error {
+	if f > HWShift {
+		return fmt.Errorf("core: unknown migration function %d", f)
+	}
+	if offX >= u.N || offY >= u.N {
+		return fmt.Errorf("core: shift offsets (%d,%d) exceed array size %d", offX, offY, u.N)
+	}
+	u.Func = f
+	u.OffX, u.OffY = offX, offY
+	return nil
+}
+
+// mask keeps a value within the W-bit datapath, panicking on overflow —
+// the model's stand-in for a register-width assertion in RTL.
+func (u *HWMigrationUnit) mask(v uint16) uint8 {
+	if v>>(u.W+1) != 0 {
+		panic(fmt.Sprintf("core: migration unit datapath overflow: %d does not fit %d+1 bits", v, u.W))
+	}
+	return uint8(v)
+}
+
+// complement computes N-1-v on the complement stage.
+func (u *HWMigrationUnit) complement(v uint8) uint8 {
+	u.OpCounts.Complements++
+	return u.mask(uint16(u.N-1) - uint16(v))
+}
+
+// addMod computes (a+b) mod N with one adder and a conditional subtractor.
+func (u *HWMigrationUnit) addMod(a, b uint8) uint8 {
+	u.OpCounts.Adds++
+	s := uint16(a) + uint16(b)
+	if s >= uint16(u.N) {
+		u.OpCounts.Mods++
+		s -= uint16(u.N)
+	}
+	return u.mask(s)
+}
+
+// Translate maps a PE coordinate through the selected function. Inputs and
+// outputs are W-bit operands; out-of-range inputs are rejected as they
+// would be by the unit's address decoder.
+func (u *HWMigrationUnit) Translate(x, y uint8) (uint8, uint8, error) {
+	if x >= u.N || y >= u.N {
+		return 0, 0, fmt.Errorf("core: coordinate (%d,%d) outside %dx%d array", x, y, u.N, u.N)
+	}
+	u.OpCounts.Lookups++
+	switch u.Func {
+	case HWIdentity:
+		return x, y, nil
+	case HWRotate:
+		// x' = N-1-y, y' = x: one complement plus the swap mux.
+		u.OpCounts.Swaps++
+		return u.complement(y), x, nil
+	case HWMirrorX:
+		return u.complement(x), y, nil
+	case HWMirrorY:
+		return x, u.complement(y), nil
+	case HWShift:
+		return u.addMod(x, u.OffX), u.addMod(y, u.OffY), nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown migration function %d", u.Func)
+	}
+}
+
+// SelectForTransform configures the unit to implement a scheme step
+// expressed as a geometry transform, returning an error for transforms the
+// hardware cannot realise (the paper's unit covers exactly the Table 1
+// family and compositions thereof via repeated application).
+func (u *HWMigrationUnit) SelectForTransform(g geom.Grid, tr geom.Transform) error {
+	if g.W != int(u.N) || g.H != int(u.N) {
+		return fmt.Errorf("core: unit sized for %dx%d, transform grid is %dx%d", u.N, u.N, g.W, g.H)
+	}
+	cands := []struct {
+		f          HWFunc
+		offX, offY uint8
+		ref        geom.Transform
+	}{
+		{HWIdentity, 0, 0, geom.Identity()},
+		{HWRotate, 0, 0, geom.Rotation(g.W)},
+		{HWMirrorX, 0, 0, geom.XMirror(g.W)},
+		{HWMirrorY, 0, 0, geom.YMirror(g.H)},
+	}
+	for dx := 0; dx < g.W; dx++ {
+		for dy := 0; dy < g.H; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			cands = append(cands, struct {
+				f          HWFunc
+				offX, offY uint8
+				ref        geom.Transform
+			}{HWShift, uint8(dx), uint8(dy), geom.XYTranslate(g.W, g.H, dx, dy)})
+		}
+	}
+	for _, c := range cands {
+		if tr.EqualOn(g, c.ref) {
+			return u.Select(c.f, c.offX, c.offY)
+		}
+	}
+	return fmt.Errorf("core: transform %q is not realisable by the migration unit", tr.Name)
+}
+
+// ResetCounts zeroes the activity counters.
+func (u *HWMigrationUnit) ResetCounts() {
+	u.OpCounts = struct {
+		Adds        uint64
+		Complements uint64
+		Swaps       uint64
+		Mods        uint64
+		Lookups     uint64
+	}{}
+}

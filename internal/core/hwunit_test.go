@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hotnoc/internal/geom"
+)
+
+// TestHWUnitMatchesGeomTransforms: the bit-accurate datapath model agrees
+// with the algebraic transforms on every coordinate of every array size
+// the unit supports, for every function.
+func TestHWUnitMatchesGeomTransforms(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		g := geom.NewGrid(n, n)
+		u, err := NewHWMigrationUnit(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := []struct {
+			f   HWFunc
+			ox  uint8
+			oy  uint8
+			ref geom.Transform
+		}{
+			{HWIdentity, 0, 0, geom.Identity()},
+			{HWRotate, 0, 0, geom.Rotation(n)},
+			{HWMirrorX, 0, 0, geom.XMirror(n)},
+			{HWMirrorY, 0, 0, geom.YMirror(n)},
+			{HWShift, 1, 0, geom.XTranslate(n, 1)},
+			{HWShift, 1, 1, geom.XYTranslate(n, n, 1, 1)},
+			{HWShift, uint8(n - 1), uint8(n / 2), geom.XYTranslate(n, n, n-1, n/2)},
+		}
+		for _, r := range refs {
+			if err := u.Select(r.f, r.ox, r.oy); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range g.Coords() {
+				gx, gy, err := u.Translate(uint8(c.X), uint8(c.Y))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := r.ref.Apply(g, c)
+				if int(gx) != want.X || int(gy) != want.Y {
+					t.Fatalf("n=%d %s(%v) = (%d,%d), want %v", n, r.f, c, gx, gy, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHWUnitOperandWidth verifies the paper's §2.3 claim: 3-bit operands
+// suffice to address up to 64 PEs (an 8x8 array).
+func TestHWUnitOperandWidth(t *testing.T) {
+	cases := []struct {
+		n int
+		w uint8
+	}{
+		{2, 1}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {64, 6},
+	}
+	for _, c := range cases {
+		u, err := NewHWMigrationUnit(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.W != c.w {
+			t.Errorf("n=%d: width %d bits, want %d", c.n, u.W, c.w)
+		}
+	}
+	// The paper's envelope: an 8x8 (64-PE) array needs exactly 3 bits.
+	u, _ := NewHWMigrationUnit(8)
+	if u.W != 3 {
+		t.Fatalf("8x8 array needs %d-bit operands, paper says 3", u.W)
+	}
+}
+
+// TestHWUnitSelectForTransform: the unit realises every scheme step the
+// runtime manager can issue, and refuses transforms outside the family.
+func TestHWUnitSelectForTransform(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		g := geom.NewGrid(n, n)
+		u, err := NewHWMigrationUnit(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range AllSchemes() {
+			for k := 0; k < s.OrbitLen(g); k++ {
+				step := s.Step(k, g)
+				if err := u.SelectForTransform(g, step); err != nil {
+					t.Fatalf("%s step %d on %dx%d: %v", s.Name, k, n, n, err)
+				}
+				for _, c := range g.Coords() {
+					gx, gy, err := u.Translate(uint8(c.X), uint8(c.Y))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := step.Apply(g, c)
+					if int(gx) != want.X || int(gy) != want.Y {
+						t.Fatalf("%s step %d: hw (%d,%d) != %v", s.Name, k, gx, gy, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHWUnitRejectsBadInputs covers the address decoder and config checks.
+func TestHWUnitRejectsBadInputs(t *testing.T) {
+	if _, err := NewHWMigrationUnit(1); err == nil {
+		t.Error("1x1 array accepted")
+	}
+	if _, err := NewHWMigrationUnit(65); err == nil {
+		t.Error("65-wide array accepted")
+	}
+	u, _ := NewHWMigrationUnit(5)
+	if err := u.Select(HWShift, 5, 0); err == nil {
+		t.Error("offset >= N accepted")
+	}
+	if err := u.Select(HWFunc(9), 0, 0); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, _, err := u.Translate(5, 0); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+}
+
+// TestHWUnitOpCounts: datapath activity matches the function's structure —
+// rotation uses one complement and one swap per lookup, shifts two adders.
+func TestHWUnitOpCounts(t *testing.T) {
+	u, _ := NewHWMigrationUnit(5)
+	if err := u.Select(HWRotate, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, _, err := u.Translate(uint8(i%5), uint8(i/5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.OpCounts.Lookups != 25 || u.OpCounts.Complements != 25 || u.OpCounts.Swaps != 25 {
+		t.Fatalf("rotation counts wrong: %+v", u.OpCounts)
+	}
+	if u.OpCounts.Adds != 0 {
+		t.Fatalf("rotation used the adder: %+v", u.OpCounts)
+	}
+	u.ResetCounts()
+	if err := u.Select(HWShift, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Translate(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if u.OpCounts.Adds != 2 || u.OpCounts.Mods != 2 {
+		t.Fatalf("wrapping shift counts wrong: %+v", u.OpCounts)
+	}
+}
+
+// TestHWUnitBijective property: for random sizes and functions, the unit's
+// map is a bijection of the array (no two PEs collide).
+func TestHWUnitBijective(t *testing.T) {
+	f := func(nRaw, fRaw, oxRaw, oyRaw uint8) bool {
+		n := 2 + int(nRaw%15)
+		u, err := NewHWMigrationUnit(n)
+		if err != nil {
+			return false
+		}
+		fn := HWFunc(fRaw % 5)
+		if err := u.Select(fn, oxRaw%uint8(n), oyRaw%uint8(n)); err != nil {
+			return false
+		}
+		seen := map[[2]uint8]bool{}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				gx, gy, err := u.Translate(uint8(x), uint8(y))
+				if err != nil {
+					return false
+				}
+				k := [2]uint8{gx, gy}
+				if seen[k] {
+					return false
+				}
+				seen[k] = true
+			}
+		}
+		return len(seen) == n*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

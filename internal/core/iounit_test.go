@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotnoc/internal/geom"
+)
+
+// TestIOTranslatorTransparency is the paper's §2.3 property: after any
+// sequence of migrations, an external sender addressing logical PE L
+// reaches exactly the physical PE currently hosting L's workload, and a
+// reply from that physical PE is labelled L on the way out.
+func TestIOTranslatorTransparency(t *testing.T) {
+	f := func(seed int64, nRaw, steps uint8) bool {
+		n := 4 + int(nRaw%2) // 4x4 or 5x5
+		g := geom.NewGrid(n, n)
+		r := rand.New(rand.NewSource(seed))
+		io := NewIOTranslator(g)
+		schemes := AllSchemes()
+
+		// Track ground truth: where each logical PE's workload lives.
+		host := make([]geom.Coord, g.N()) // logical index -> physical coord
+		for i := range host {
+			host[i] = g.Coord(i)
+		}
+		k := 0
+		for s := 0; s < int(steps%12); s++ {
+			scheme := schemes[r.Intn(len(schemes))]
+			step := scheme.Step(k, g)
+			k++
+			for i := range host {
+				host[i] = step.Apply(g, host[i])
+			}
+			io.Advance(step)
+		}
+		for l := 0; l < g.N(); l++ {
+			logical := g.Coord(l)
+			phys := io.InboundDst(logical)
+			if phys != host[l] {
+				return false
+			}
+			if io.OutboundSrc(phys) != logical {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIOTranslatorIdentityBeforeMigration: a fresh translator is a no-op.
+func TestIOTranslatorIdentityBeforeMigration(t *testing.T) {
+	g := geom.NewGrid(4, 4)
+	io := NewIOTranslator(g)
+	for _, c := range g.Coords() {
+		if io.InboundDst(c) != c || io.OutboundSrc(c) != c {
+			t.Fatalf("fresh translator moved %v", c)
+		}
+	}
+	if io.Migrations() != 0 {
+		t.Fatalf("fresh translator reports %d migrations", io.Migrations())
+	}
+}
+
+// TestIOTranslatorFullOrbitReturnsToIdentity: advancing through a scheme's
+// whole orbit restores the identity mapping.
+func TestIOTranslatorFullOrbitReturnsToIdentity(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		g := geom.NewGrid(n, n)
+		for _, s := range AllSchemes() {
+			io := NewIOTranslator(g)
+			orbit := s.OrbitLen(g)
+			for k := 0; k < orbit; k++ {
+				io.Advance(s.Step(k, g))
+			}
+			for _, c := range g.Coords() {
+				if io.InboundDst(c) != c {
+					t.Errorf("%s on %dx%d: orbit did not return to identity at %v",
+						s.Name, n, n, c)
+				}
+			}
+			if io.Migrations() != orbit {
+				t.Errorf("%s on %dx%d: %d migrations recorded, want %d",
+					s.Name, n, n, io.Migrations(), orbit)
+			}
+		}
+	}
+}
+
+// TestInboundOutboundInverse property: OutboundSrc is always the exact
+// inverse of InboundDst.
+func TestInboundOutboundInverse(t *testing.T) {
+	g := geom.NewGrid(5, 5)
+	io := NewIOTranslator(g)
+	for k := 0; k < 7; k++ {
+		io.Advance(XYShift().Step(k, g))
+		for _, c := range g.Coords() {
+			if io.OutboundSrc(io.InboundDst(c)) != c {
+				t.Fatalf("after %d migrations: round trip broke at %v", k+1, c)
+			}
+		}
+	}
+}

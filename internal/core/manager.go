@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"hotnoc/internal/appmap"
+	"hotnoc/internal/geom"
+	"hotnoc/internal/ldpc"
+	"hotnoc/internal/power"
+	"hotnoc/internal/thermal"
+)
+
+// System bundles one test chip: workload engine, network (inside the
+// engine), thermal model, energy tables and the migration machinery.
+type System struct {
+	Grid geom.Grid
+	// Therm is the chip's RC thermal model.
+	Therm *thermal.Network
+	// Energy is the (calibrated) per-event energy table.
+	Energy power.Energy
+	// Leak is the temperature-dependent leakage model.
+	Leak power.Leakage
+	// ClockHz converts cycles to seconds (default 250 MHz, a 160 nm-
+	// plausible NoC clock).
+	ClockHz float64
+	// Engine executes the LDPC workload on the cycle-accurate NoC.
+	Engine *appmap.Engine
+	// Migrator executes state transfers.
+	Migrator *Migrator
+	// InitialPlace is the thermally-aware static placement (logical PE ->
+	// physical block).
+	InitialPlace []int
+	// BlockSource supplies the channel LLRs for the block decoded at each
+	// migration leg; it must be deterministic for reproducibility.
+	BlockSource func(leg int) []ldpc.LLR
+	// IO is the chip-boundary migration unit, advanced at each migration.
+	IO *IOTranslator
+	// IdleFrac is the fraction of a block's active power it keeps burning
+	// while halted during a migration (clock trees and always-on logic;
+	// ~35% of dynamic power at 160 nm). Longer migrations therefore cost
+	// proportionally more energy — the reason rotation, with the most
+	// transfer phases, has the largest reconfiguration energy penalty.
+	IdleFrac float64
+}
+
+// Validate reports wiring mistakes.
+func (s *System) Validate() error {
+	if s.Therm == nil || s.Engine == nil || s.Migrator == nil {
+		return fmt.Errorf("core: system missing thermal model, engine or migrator")
+	}
+	if s.Therm.NDie != s.Grid.N() {
+		return fmt.Errorf("core: thermal model has %d blocks for %d PEs", s.Therm.NDie, s.Grid.N())
+	}
+	if s.ClockHz <= 0 {
+		return fmt.Errorf("core: non-positive clock %g", s.ClockHz)
+	}
+	if len(s.InitialPlace) != s.Grid.N() {
+		return fmt.Errorf("core: initial placement has %d entries for %d PEs",
+			len(s.InitialPlace), s.Grid.N())
+	}
+	if s.BlockSource == nil {
+		return fmt.Errorf("core: nil block source")
+	}
+	if s.IO == nil {
+		return fmt.Errorf("core: nil I/O translator")
+	}
+	if s.IdleFrac < 0 || s.IdleFrac > 1 {
+		return fmt.Errorf("core: IdleFrac %g outside [0,1]", s.IdleFrac)
+	}
+	return nil
+}
+
+// RunConfig selects a migration policy for one evaluation.
+type RunConfig struct {
+	// Scheme is the migration scheme under test.
+	Scheme Scheme
+	// BlocksPerPeriod sets the migration period in decoded blocks
+	// (default 1 — the paper's 109 µs-class base period; 4 and 8
+	// correspond to its 437.2 µs and 874.4 µs studies).
+	BlocksPerPeriod int
+	// ExcludeMigrationEnergy drops state-transfer and conversion energy
+	// from the thermal schedule (ablation for the paper's rotation-energy
+	// observation). Migration time is always modelled.
+	ExcludeMigrationEnergy bool
+	// CycleOpts overrides the thermal integrator options; zero values get
+	// defaults.
+	CycleOpts thermal.CycleOptions
+}
+
+// LegReport describes one leg (one placement dwell plus the following
+// migration) of the quasi-steady thermal cycle.
+type LegReport struct {
+	// DecodeCycles is the duration of one block decode at this placement.
+	DecodeCycles int64
+	// Migration describes the state transfer that ends the leg.
+	Migration MigrationStats
+	// DecodeEnergyJ and MigrationEnergyJ split the leg's dissipation.
+	DecodeEnergyJ    float64
+	MigrationEnergyJ float64
+}
+
+// RunResult compares a migration scheme against the static baseline on the
+// same chip, placement and workload.
+type RunResult struct {
+	// Baseline is the static thermally-aware placement's steady state.
+	BaselinePeakC  float64
+	BaselinePeakAt int
+	BaselineMeanC  float64
+
+	// Migrated is the quasi-steady thermal cycle under the scheme.
+	MigratedPeakC  float64
+	MigratedPeakAt int
+	MigratedMeanC  float64
+
+	// ReductionC = BaselinePeakC - MigratedPeakC (positive is good).
+	ReductionC float64
+
+	// ThroughputPenalty is migration downtime over total time.
+	ThroughputPenalty float64
+	// PeriodSec is the average migration period in seconds.
+	PeriodSec float64
+	// MigrationEnergyJ is the state-transfer energy per thermal cycle.
+	MigrationEnergyJ float64
+
+	// Legs details each placement dwell in orbit order.
+	Legs []LegReport
+
+	// BaselineMaxTemps and MigratedMaxTemps hold each block's maximum
+	// temperature over the respective thermal cycle, for heat-map
+	// rendering.
+	BaselineMaxTemps []float64
+	MigratedMaxTemps []float64
+}
+
+// Run evaluates one scheme. The workload decodes BlocksPerPeriod blocks at
+// each placement of the scheme's orbit, then migrates; the per-leg power
+// maps (decode energy plus, unless excluded, migration energy) drive the
+// thermal model to its quasi-steady cycle, which is compared against the
+// static placement's steady state.
+//
+// Traffic timing and event counts in the engine are data-independent
+// (fixed iterations, partition-determined batching), so one decoded block
+// per leg is measured and scaled to BlocksPerPeriod exactly.
+func (s *System) Run(cfg RunConfig) (RunResult, error) {
+	if err := s.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if cfg.BlocksPerPeriod == 0 {
+		cfg.BlocksPerPeriod = 1
+	}
+	if cfg.BlocksPerPeriod < 1 {
+		return RunResult{}, fmt.Errorf("core: BlocksPerPeriod %d < 1", cfg.BlocksPerPeriod)
+	}
+	if cfg.Scheme.StepFn == nil {
+		return RunResult{}, fmt.Errorf("core: no migration scheme configured")
+	}
+	g := s.Grid
+	net := s.Engine.Net
+	b := float64(cfg.BlocksPerPeriod)
+
+	var res RunResult
+
+	// ---- Static baseline -------------------------------------------------
+	if err := s.Engine.SetPlacement(s.InitialPlace); err != nil {
+		return RunResult{}, err
+	}
+	net.ResetStats()
+	blk, err := s.Engine.Decode(s.BlockSource(0))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: baseline decode: %w", err)
+	}
+	baseDur := float64(blk.Cycles) / s.ClockHz
+	basePower := net.Act.PowerMap(s.Energy, baseDur)
+	baseRes, err := thermal.RunCycle(s.Therm, []thermal.ScheduleEntry{{
+		Power: basePower, Duration: baseDur, Label: "static",
+	}}, withLeak(cfg.CycleOpts, s.Leak))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: baseline thermal: %w", err)
+	}
+	res.BaselinePeakC, res.BaselinePeakAt = baseRes.PeakC, baseRes.PeakBlock
+	res.BaselineMeanC = baseRes.MeanC
+	res.BaselineMaxTemps = baseRes.MaxPerBlock
+
+	// ---- Migration legs --------------------------------------------------
+	orbit := cfg.Scheme.OrbitLen(g)
+	place := append([]int(nil), s.InitialPlace...)
+	entries := make([]thermal.ScheduleEntry, 0, orbit)
+	var totalDecode, totalMig int64
+
+	for leg := 0; leg < orbit; leg++ {
+		if err := s.Engine.SetPlacement(place); err != nil {
+			return RunResult{}, err
+		}
+		net.ResetStats()
+		blk, err := s.Engine.Decode(s.BlockSource(leg))
+		if err != nil {
+			return RunResult{}, fmt.Errorf("core: leg %d decode: %w", leg, err)
+		}
+		decodeAct := net.Act.Clone()
+		decodeEnergy := decodeAct.TotalEnergyJ(s.Energy)
+
+		step := cfg.Scheme.Step(leg, g)
+		perm := geom.FromTransform(g, step)
+		net.ResetStats()
+		mig, err := s.Migrator.Execute(perm)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("core: leg %d migration: %w", leg, err)
+		}
+		migAct := net.Act.Clone()
+		migEnergy := migAct.TotalEnergyJ(s.Energy)
+
+		// Workload follows the plane: the PE at block p moves to perm(p).
+		next := make([]int, len(place))
+		for l, blkIdx := range place {
+			next[l] = perm.Dst(blkIdx)
+		}
+		place = next
+		s.IO.Advance(step)
+
+		// One thermal entry per leg: B blocks of decode plus the migration
+		// window, energy-folded into the leg's average power map. The
+		// migration window (hundreds of cycles) is far below the die
+		// thermal time constants, so folding loses nothing the RC model
+		// could resolve.
+		legDur := (b*float64(blk.Cycles) + float64(mig.Cycles)) / s.ClockHz
+		legPower := make([]float64, g.N())
+		for i := range legPower {
+			e := b * decodeAct.BlockEnergyJ(s.Energy, i)
+			if !cfg.ExcludeMigrationEnergy {
+				// State transfer plus the idle-clock power the halted PEs
+				// keep burning for the whole migration window.
+				e += migAct.BlockEnergyJ(s.Energy, i) +
+					s.IdleFrac*decodeAct.BlockEnergyJ(s.Energy, i)/float64(blk.Cycles)*float64(mig.Cycles)
+			}
+			legPower[i] = e / legDur
+		}
+		entries = append(entries, thermal.ScheduleEntry{
+			Power: legPower, Duration: legDur,
+			Label: fmt.Sprintf("leg %d (%s)", leg, step.Name),
+		})
+
+		migTotalEnergy := migEnergy +
+			s.IdleFrac*decodeEnergy/float64(blk.Cycles)*float64(mig.Cycles)
+		totalDecode += int64(b) * blk.Cycles
+		totalMig += mig.Cycles
+		res.Legs = append(res.Legs, LegReport{
+			DecodeCycles:     blk.Cycles,
+			Migration:        mig,
+			DecodeEnergyJ:    b * decodeEnergy,
+			MigrationEnergyJ: migTotalEnergy,
+		})
+		res.MigrationEnergyJ += migTotalEnergy
+	}
+
+	migRes, err := thermal.RunCycle(s.Therm, entries, withLeak(cfg.CycleOpts, s.Leak))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: migrated thermal: %w", err)
+	}
+	res.MigratedPeakC, res.MigratedPeakAt = migRes.PeakC, migRes.PeakBlock
+	res.MigratedMeanC = migRes.MeanC
+	res.MigratedMaxTemps = migRes.MaxPerBlock
+	res.ReductionC = res.BaselinePeakC - res.MigratedPeakC
+	res.ThroughputPenalty = float64(totalMig) / float64(totalDecode+totalMig)
+	res.PeriodSec = float64(totalDecode+totalMig) / float64(orbit) / s.ClockHz
+	return res, nil
+}
+
+func withLeak(opts thermal.CycleOptions, leak power.Leakage) thermal.CycleOptions {
+	if opts.Leak == nil {
+		opts.Leak = leak.Func()
+	}
+	return opts
+}

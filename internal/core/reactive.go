@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hotnoc/internal/geom"
+	"hotnoc/internal/thermal"
+)
+
+// ReactiveConfig configures threshold-triggered migration, the natural
+// extension of the paper's fixed-period policy: on-die thermal sensors are
+// sampled at every block boundary and the plane migrates only when the
+// hottest sensor exceeds TriggerC. Between triggers the chip runs at full
+// throughput, so a well-chosen threshold buys back most of the periodic
+// policy's penalty while still capping the peak.
+type ReactiveConfig struct {
+	// Scheme supplies the transform applied at each triggered migration.
+	Scheme Scheme
+	// TriggerC is the sensor threshold in °C.
+	TriggerC float64
+	// SimBlocks is the simulation horizon in decoded blocks (default
+	// 2048). The horizon must span several die thermal time constants
+	// (~10 ms) for the controller to reach its operating regime.
+	SimBlocks int
+	// WarmupBlocks excludes the initial heat-up/settling transient from
+	// the reported statistics (default SimBlocks/2); the full sensor
+	// timeline is still returned in BlockPeaks.
+	WarmupBlocks int
+	// SensorQuantC is the sensor resolution; readings are floored to this
+	// LSB as a real thermal diode's output would be (default 0.25 °C).
+	SensorQuantC float64
+	// Dt is the thermal integrator step (default 5 µs).
+	Dt float64
+}
+
+func (c *ReactiveConfig) setDefaults() {
+	if c.SimBlocks <= 0 {
+		c.SimBlocks = 2048
+	}
+	if c.WarmupBlocks <= 0 {
+		c.WarmupBlocks = c.SimBlocks / 2
+	}
+	if c.WarmupBlocks >= c.SimBlocks {
+		c.WarmupBlocks = c.SimBlocks - 1
+	}
+	if c.SensorQuantC <= 0 {
+		c.SensorQuantC = 0.25
+	}
+	if c.Dt <= 0 {
+		c.Dt = 5e-6
+	}
+}
+
+// ReactiveResult summarises a reactive run. Scalar statistics cover the
+// post-warmup window, i.e. the controller's operating regime rather than
+// the initial heat-up transient.
+type ReactiveResult struct {
+	// PeakC is the hottest die temperature after warmup.
+	PeakC float64
+	// MeanC is the time-averaged die temperature after warmup.
+	MeanC float64
+	// Migrations counts triggered reconfigurations after warmup.
+	Migrations int
+	// ThroughputPenalty is post-warmup migration downtime over total time.
+	ThroughputPenalty float64
+	// BlockPeaks records the sensor peak at every block boundary of the
+	// whole horizon (including warmup), a timeline of the control
+	// behaviour.
+	BlockPeaks []float64
+}
+
+// legMeasurement caches the cycle-accurate measurement of one orbit
+// position, so the reactive loop re-simulates neither decoding nor
+// migration for placements it has already profiled.
+type legMeasurement struct {
+	decodeCycles int64
+	decodePower  []float64
+	migCycles    int64
+	migPower     []float64
+}
+
+// RunReactive evaluates the threshold policy. The thermal state is
+// integrated transiently from the static placement's warm steady state;
+// at every block boundary the quantized sensor peak decides whether the
+// next scheme step executes.
+func (s *System) RunReactive(cfg ReactiveConfig) (ReactiveResult, error) {
+	if err := s.Validate(); err != nil {
+		return ReactiveResult{}, err
+	}
+	if cfg.Scheme.StepFn == nil {
+		return ReactiveResult{}, fmt.Errorf("core: no migration scheme configured")
+	}
+	cfg.setDefaults()
+	g := s.Grid
+	net := s.Engine.Net
+	orbit := cfg.Scheme.OrbitLen(g)
+	leak := s.Leak.Func()
+
+	// Profile orbit position k lazily: decode one block and execute the
+	// k-th migration on the cycle-accurate network, converting activity
+	// into power maps (including idle-clock power during the migration).
+	cache := make(map[int]*legMeasurement)
+	place := append([]int(nil), s.InitialPlace...)
+	placeAt := map[int][]int{0: append([]int(nil), place...)}
+	measure := func(k int) (*legMeasurement, error) {
+		if m, ok := cache[k]; ok {
+			return m, nil
+		}
+		pl, ok := placeAt[k]
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: placement for leg %d not derived", k)
+		}
+		if err := s.Engine.SetPlacement(pl); err != nil {
+			return nil, err
+		}
+		net.ResetStats()
+		blk, err := s.Engine.Decode(s.BlockSource(k))
+		if err != nil {
+			return nil, err
+		}
+		decodeDur := float64(blk.Cycles) / s.ClockHz
+		decodePower := net.Act.PowerMap(s.Energy, decodeDur)
+
+		step := cfg.Scheme.Step(k, g)
+		perm := geom.FromTransform(g, step)
+		net.ResetStats()
+		mig, err := s.Migrator.Execute(perm)
+		if err != nil {
+			return nil, err
+		}
+		migDur := float64(mig.Cycles) / s.ClockHz
+		migPower := net.Act.PowerMap(s.Energy, migDur)
+		for i := range migPower {
+			migPower[i] += s.IdleFrac * decodePower[i]
+		}
+
+		next := make([]int, len(pl))
+		for l, b := range pl {
+			next[l] = perm.Dst(b)
+		}
+		placeAt[(k+1)%orbit] = next
+
+		m := &legMeasurement{
+			decodeCycles: blk.Cycles,
+			decodePower:  decodePower,
+			migCycles:    mig.Cycles,
+			migPower:     migPower,
+		}
+		cache[k] = m
+		return m, nil
+	}
+
+	// Warm-start the thermal state from the static placement's
+	// leakage-closed steady state.
+	first, err := measure(0)
+	if err != nil {
+		return ReactiveResult{}, err
+	}
+	ss, err := thermal.NewSteadySolver(s.Therm)
+	if err != nil {
+		return ReactiveResult{}, err
+	}
+	state := ss.SolveFull(first.decodePower)
+	for it := 0; it < 50; it++ {
+		die := s.Therm.DieTemps(state)
+		pm := append([]float64(nil), first.decodePower...)
+		for i, l := range leak(die) {
+			pm[i] += l
+		}
+		next := ss.SolveFull(pm)
+		if maxAbsDiff(next, state) < 1e-4 {
+			state = next
+			break
+		}
+		state = next
+	}
+
+	tr, err := thermal.NewTransient(s.Therm, cfg.Dt)
+	if err != nil {
+		return ReactiveResult{}, err
+	}
+	tr.SetState(state, 0)
+
+	res := ReactiveResult{PeakC: -math.MaxFloat64}
+	pmBuf := make([]float64, g.N())
+	var meanAcc float64
+	var meanN int
+	recording := false
+	integrate := func(basePower []float64, durSec float64) {
+		steps := int(math.Round(durSec / cfg.Dt))
+		if steps < 1 {
+			steps = 1
+		}
+		for i := 0; i < steps; i++ {
+			die := tr.Die()
+			copy(pmBuf, basePower)
+			for j, l := range leak(die) {
+				pmBuf[j] += l
+			}
+			tr.Step(pmBuf)
+			if !recording {
+				continue
+			}
+			die = tr.Die()
+			p, _ := thermal.Peak(die)
+			if p > res.PeakC {
+				res.PeakC = p
+			}
+			meanAcc += thermal.Mean(die)
+			meanN++
+		}
+	}
+
+	k := 0
+	var decodeCycles, migCycles int64
+	for blk := 0; blk < cfg.SimBlocks; blk++ {
+		recording = blk >= cfg.WarmupBlocks
+		m, err := measure(k)
+		if err != nil {
+			return ReactiveResult{}, err
+		}
+		integrate(m.decodePower, float64(m.decodeCycles)/s.ClockHz)
+		if recording {
+			decodeCycles += m.decodeCycles
+		}
+
+		sensorPeak := quantize(maxOf(tr.Die()), cfg.SensorQuantC)
+		res.BlockPeaks = append(res.BlockPeaks, sensorPeak)
+		if sensorPeak > cfg.TriggerC {
+			integrate(m.migPower, float64(m.migCycles)/s.ClockHz)
+			if recording {
+				migCycles += m.migCycles
+				res.Migrations++
+			}
+			k = (k + 1) % orbit
+		}
+	}
+
+	res.MeanC = meanAcc / float64(meanN)
+	res.ThroughputPenalty = float64(migCycles) / float64(decodeCycles+migCycles)
+	return res, nil
+}
+
+func quantize(v, lsb float64) float64 { return math.Floor(v/lsb) * lsb }
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

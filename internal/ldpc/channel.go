@@ -1,0 +1,70 @@
+package ldpc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LLR is a fixed-point log-likelihood ratio as carried on the chip:
+// positive means "bit is 0". Messages saturate at ±MaxLLR, emulating the
+// narrow datapaths of the paper's hardware decoder.
+type LLR = int8
+
+// MaxLLR is the saturation magnitude of the fixed-point datapath.
+const MaxLLR = 31
+
+// Channel models BPSK transmission over AWGN followed by LLR computation
+// and uniform quantization, producing the "encoded message" stimulus the
+// paper feeds its simulator.
+type Channel struct {
+	// SNRdB is Eb/N0 in decibels.
+	SNRdB float64
+	// Rate is the code rate, needed to convert Eb/N0 to Es/N0.
+	Rate float64
+	rng  *rand.Rand
+}
+
+// NewChannel returns a deterministic channel for the given SNR and seed.
+func NewChannel(snrDB, rate float64, seed int64) (*Channel, error) {
+	if rate <= 0 || rate >= 1 {
+		return nil, fmt.Errorf("ldpc: channel rate %g outside (0,1)", rate)
+	}
+	return &Channel{SNRdB: snrDB, Rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Transmit maps codeword bits through BPSK (+1 for 0, -1 for 1), adds
+// Gaussian noise at the configured SNR, and returns quantized channel LLRs.
+func (ch *Channel) Transmit(bits []uint8) []LLR {
+	ebn0 := math.Pow(10, ch.SNRdB/10)
+	esn0 := ebn0 * ch.Rate
+	sigma := math.Sqrt(1 / (2 * esn0))
+	out := make([]LLR, len(bits))
+	for i, b := range bits {
+		x := 1.0
+		if b&1 == 1 {
+			x = -1.0
+		}
+		y := x + sigma*ch.rng.NormFloat64()
+		// Exact channel LLR for BPSK/AWGN: 2y/sigma^2, quantized with a
+		// 4x gain into the int8 datapath.
+		llr := 2 * y / (sigma * sigma)
+		out[i] = Quantize(llr)
+	}
+	return out
+}
+
+// Quantize saturates a floating LLR into the fixed-point datapath with a
+// quarter-LLR resolution (gain 4 before rounding would overflow typical
+// operating points, so the gain here is 1 with saturation; the decoder is
+// insensitive to the absolute scale).
+func Quantize(llr float64) LLR {
+	v := math.Round(llr)
+	if v > MaxLLR {
+		v = MaxLLR
+	}
+	if v < -MaxLLR {
+		v = -MaxLLR
+	}
+	return LLR(v)
+}

@@ -1,0 +1,177 @@
+package ldpc
+
+import "fmt"
+
+// CheckNodeUpdate computes the min-sum check-to-variable messages for one
+// check node: out[i] gets the normalized product-of-signs times
+// minimum-magnitude over all inputs except i. in and out must have equal
+// length >= 2. The same routine backs both the reference decoder and the
+// distributed on-NoC PEs, making the two bit-exact by construction.
+func CheckNodeUpdate(in []LLR, out []LLR, normNum, normDen int) {
+	if len(in) != len(out) || len(in) < 2 {
+		panic(fmt.Sprintf("ldpc: check update with %d in, %d out", len(in), len(out)))
+	}
+	// Track the two smallest magnitudes and the overall sign product so
+	// the exclusion of each output's own input is O(1).
+	min1, min2 := 1<<30, 1<<30 // smallest and second smallest |in|
+	min1Idx := -1
+	signProd := 1
+	for i, m := range in {
+		v := int(m)
+		if v < 0 {
+			signProd = -signProd
+			v = -v
+		}
+		if v < min1 {
+			min2 = min1
+			min1, min1Idx = v, i
+		} else if v < min2 {
+			min2 = v
+		}
+	}
+	for i, m := range in {
+		mag := min1
+		if i == min1Idx {
+			mag = min2
+		}
+		mag = mag * normNum / normDen
+		if mag > MaxLLR {
+			mag = MaxLLR
+		}
+		s := signProd
+		if m < 0 {
+			s = -s
+		}
+		out[i] = LLR(s * mag)
+	}
+}
+
+// VarNodeUpdate computes the variable-to-check messages for one variable
+// node from its channel LLR and incoming check messages, returning the
+// total (a-posteriori) LLR used for the hard decision. Outgoing messages
+// saturate into the fixed-point datapath.
+func VarNodeUpdate(ch LLR, in []LLR, out []LLR) int32 {
+	if len(in) != len(out) {
+		panic(fmt.Sprintf("ldpc: var update with %d in, %d out", len(in), len(out)))
+	}
+	total := int32(ch)
+	for _, m := range in {
+		total += int32(m)
+	}
+	for i, m := range in {
+		out[i] = saturate(total - int32(m))
+	}
+	return total
+}
+
+func saturate(v int32) LLR {
+	if v > MaxLLR {
+		return MaxLLR
+	}
+	if v < -MaxLLR {
+		return -MaxLLR
+	}
+	return LLR(v)
+}
+
+// Decoder is a fixed-point normalized min-sum decoder with a flooding
+// schedule.
+type Decoder struct {
+	Code *Code
+	// MaxIter bounds decoding iterations (default 16). Hardware decoders
+	// run a fixed iteration count per block, which is what makes block
+	// decode time — and hence the paper's migration period — deterministic.
+	MaxIter int
+	// NormNum/NormDen is the min-sum normalization factor (default 3/4).
+	NormNum, NormDen int
+	// EarlyStop, when set, terminates once the syndrome is satisfied.
+	EarlyStop bool
+
+	// Edge state in check-major order.
+	v2c []LLR
+	c2v []LLR
+	// varEdges[v] lists the check-major edge indices of variable v.
+	varEdges   [][]int
+	scratchIn  []LLR
+	scratchOut []LLR
+}
+
+// NewDecoder builds a decoder with default parameters.
+func NewDecoder(code *Code) *Decoder {
+	d := &Decoder{Code: code, MaxIter: 16, NormNum: 3, NormDen: 4}
+	edges := code.Edges()
+	d.v2c = make([]LLR, edges)
+	d.c2v = make([]LLR, edges)
+	d.varEdges = make([][]int, code.N)
+	e := 0
+	maxDeg := 2
+	for ch := 0; ch < code.M; ch++ {
+		if l := len(code.CheckNbrs[ch]); l > maxDeg {
+			maxDeg = l
+		}
+		for _, v := range code.CheckNbrs[ch] {
+			d.varEdges[v] = append(d.varEdges[v], e)
+			e++
+		}
+	}
+	for v := 0; v < code.N; v++ {
+		if l := len(d.varEdges[v]); l > maxDeg {
+			maxDeg = l
+		}
+	}
+	d.scratchIn = make([]LLR, maxDeg)
+	d.scratchOut = make([]LLR, maxDeg)
+	return d
+}
+
+// Decode runs min-sum decoding on channel LLRs, returning the hard
+// decisions, the number of iterations executed, and whether the result
+// satisfies all parity checks.
+func (d *Decoder) Decode(chLLR []LLR) ([]uint8, int, bool) {
+	code := d.Code
+	if len(chLLR) != code.N {
+		panic(fmt.Sprintf("ldpc: decoding %d LLRs with N=%d", len(chLLR), code.N))
+	}
+	// Init: variable-to-check messages start as the channel values.
+	for v := 0; v < code.N; v++ {
+		for _, e := range d.varEdges[v] {
+			d.v2c[e] = chLLR[v]
+		}
+	}
+	decisions := make([]uint8, code.N)
+	iters := 0
+	for it := 0; it < d.MaxIter; it++ {
+		iters++
+		// Check phase (flooding: uses only last iteration's v2c).
+		e := 0
+		for ch := 0; ch < code.M; ch++ {
+			deg := len(code.CheckNbrs[ch])
+			in := d.v2c[e : e+deg]
+			out := d.c2v[e : e+deg]
+			CheckNodeUpdate(in, out, d.NormNum, d.NormDen)
+			e += deg
+		}
+		// Variable phase.
+		for v := 0; v < code.N; v++ {
+			ids := d.varEdges[v]
+			in := d.scratchIn[:len(ids)]
+			out := d.scratchOut[:len(ids)]
+			for i, id := range ids {
+				in[i] = d.c2v[id]
+			}
+			total := VarNodeUpdate(chLLR[v], in, out)
+			for i, id := range ids {
+				d.v2c[id] = out[i]
+			}
+			if total < 0 {
+				decisions[v] = 1
+			} else {
+				decisions[v] = 0
+			}
+		}
+		if d.EarlyStop && code.CheckSyndrome(decisions) {
+			return decisions, iters, true
+		}
+	}
+	return decisions, iters, code.CheckSyndrome(decisions)
+}

@@ -1,0 +1,310 @@
+package noc
+
+import (
+	"fmt"
+
+	"hotnoc/internal/geom"
+	"hotnoc/internal/power"
+)
+
+// Stats aggregates network-level performance counters for one run window.
+type Stats struct {
+	PacketsSent      int64
+	PacketsDelivered int64
+	FlitsInjected    int64
+	FlitsDelivered   int64
+	LatencySum       int64
+	LatencyMax       int64
+	Cycles           int64
+}
+
+// AvgLatency returns the mean packet latency in cycles.
+func (s Stats) AvgLatency() float64 {
+	if s.PacketsDelivered == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.PacketsDelivered)
+}
+
+// Throughput returns delivered flits per cycle.
+func (s Stats) Throughput() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FlitsDelivered) / float64(s.Cycles)
+}
+
+// ni is the network interface of one PE: an injection queue of flits and
+// the reassembly state of the worm currently being ejected.
+type ni struct {
+	queue      []Flit
+	reassembly *Packet
+}
+
+// Network is the cycle-accurate mesh simulator.
+type Network struct {
+	Grid geom.Grid
+	Cfg  Config
+
+	routers []router
+	nis     []ni
+
+	// Cycle is the current simulation cycle.
+	Cycle int64
+	// Act counts switching events per block for the power model.
+	Act *power.Activity
+	// Stats holds the performance counters.
+	Stats Stats
+
+	// Deliver, when non-nil, receives each packet as its tail flit leaves
+	// the destination NI.
+	Deliver func(pkt *Packet)
+
+	inflight int64
+	nextID   uint64
+}
+
+// New builds a network over grid g.
+func New(g geom.Grid, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Grid:    g,
+		Cfg:     cfg,
+		routers: make([]router, g.N()),
+		nis:     make([]ni, g.N()),
+		Act:     power.NewActivity(g.N()),
+	}
+	for i := range n.routers {
+		r := &n.routers[i]
+		r.pos = i
+		c := g.Coord(i)
+		r.coord.x, r.coord.y = c.X, c.Y
+		for d := Dir(0); d < numDirs; d++ {
+			r.in[d].buf = newFifo(cfg.BufDepth)
+		}
+	}
+	return n, nil
+}
+
+// NextID allocates a fresh packet ID.
+func (n *Network) NextID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// Send enqueues a packet for injection at its source NI. The packet is
+// stamped with the current cycle; flits enter the router as buffer space
+// allows. Send fails if the source or destination is off-grid, the worm
+// length is invalid, or a bounded injection queue is full.
+func (n *Network) Send(pkt *Packet) error {
+	if !n.Grid.Contains(pkt.Src) || !n.Grid.Contains(pkt.Dst) {
+		return fmt.Errorf("noc: packet %d endpoints %v->%v outside %dx%d grid",
+			pkt.ID, pkt.Src, pkt.Dst, n.Grid.W, n.Grid.H)
+	}
+	if pkt.NFlits < 1 {
+		return fmt.Errorf("noc: packet %d has %d flits", pkt.ID, pkt.NFlits)
+	}
+	q := &n.nis[n.Grid.Index(pkt.Src)]
+	if n.Cfg.InjectCap > 0 && len(q.queue)+pkt.NFlits > n.Cfg.InjectCap {
+		return fmt.Errorf("noc: injection queue full at %v", pkt.Src)
+	}
+	pkt.InjectCycle = n.Cycle
+	for s := 0; s < pkt.NFlits; s++ {
+		q.queue = append(q.queue, Flit{Pkt: pkt, Seq: s})
+	}
+	n.Stats.PacketsSent++
+	n.Stats.FlitsInjected += int64(pkt.NFlits)
+	n.inflight += int64(pkt.NFlits)
+	return nil
+}
+
+// Busy reports whether any flit is still queued, buffered or latched.
+func (n *Network) Busy() bool { return n.inflight > 0 }
+
+// Step advances the network by one clock cycle. Phases run in a fixed
+// order — ejection, link traversal, switch allocation/traversal,
+// injection — over routers in row-major order, so runs are deterministic.
+func (n *Network) Step() {
+	n.eject()
+	n.linkTraversal()
+	n.switchAllocTraversal()
+	n.inject()
+	n.Cycle++
+	n.Stats.Cycles++
+}
+
+// Run steps the network for the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain runs until the network is empty, up to maxCycles. It returns the
+// number of cycles stepped, or an error if traffic remains — which, with
+// deadlock-free XY routing, indicates an application-level sink failure.
+func (n *Network) Drain(maxCycles int64) (int64, error) {
+	start := n.Cycle
+	for n.Busy() {
+		if n.Cycle-start >= maxCycles {
+			return n.Cycle - start, fmt.Errorf("noc: %d flits still in flight after %d cycles",
+				n.inflight, maxCycles)
+		}
+		n.Step()
+	}
+	return n.Cycle - start, nil
+}
+
+// eject delivers flits sitting in Local output latches to their NIs.
+// Ejection is always accepted: the NI is an infinite sink, which rules out
+// protocol deadlock.
+func (n *Network) eject() {
+	for i := range n.routers {
+		r := &n.routers[i]
+		op := &r.out[Local]
+		if !op.valid {
+			continue
+		}
+		f := op.flit
+		op.valid = false
+		n.inflight--
+		sink := &n.nis[i]
+		if f.IsHead() {
+			if sink.reassembly != nil {
+				panic("noc: interleaved worms at ejection (wormhole ownership broken)")
+			}
+			sink.reassembly = f.Pkt
+		} else if sink.reassembly != f.Pkt {
+			panic("noc: body flit of a foreign worm at ejection")
+		}
+		if f.IsTail() {
+			pkt := f.Pkt
+			sink.reassembly = nil
+			pkt.EjectCycle = n.Cycle
+			n.Stats.PacketsDelivered++
+			n.Stats.FlitsDelivered += int64(pkt.NFlits)
+			if lat := pkt.Latency(); lat > n.Stats.LatencyMax {
+				n.Stats.LatencyMax = lat
+			}
+			n.Stats.LatencySum += pkt.Latency()
+			if n.Deliver != nil {
+				n.Deliver(pkt)
+			}
+		}
+	}
+}
+
+// linkTraversal moves flits from output latches into the downstream input
+// buffers, subject to buffer space (credit backpressure).
+func (n *Network) linkTraversal() {
+	for i := range n.routers {
+		r := &n.routers[i]
+		for d := North; d < numDirs; d++ {
+			op := &r.out[d]
+			if !op.valid {
+				continue
+			}
+			nbCoord := n.Grid.Coord(i).Add(d.offset())
+			nb := &n.routers[n.Grid.Index(nbCoord)]
+			in := &nb.in[d.Opposite()]
+			if in.buf.full() {
+				continue // stall; retry next cycle
+			}
+			in.buf.push(op.flit)
+			op.valid = false
+			n.Act.Link[i]++
+			n.Act.BufWrites[nb.pos]++
+		}
+	}
+}
+
+// switchAllocTraversal arbitrates each free output port among requesting
+// inputs and moves the winners' front flits across the crossbar.
+func (n *Network) switchAllocTraversal() {
+	for i := range n.routers {
+		r := &n.routers[i]
+		cur := n.Grid.Coord(i)
+		for o := Dir(0); o < numDirs; o++ {
+			op := &r.out[o]
+			if op.valid {
+				continue // latch occupied; downstream stalled
+			}
+			req := func(in Dir) bool {
+				ip := &r.in[in]
+				if ip.buf.empty() {
+					return false
+				}
+				f := ip.buf.front()
+				if ip.holding {
+					return ip.route == o
+				}
+				if !f.IsHead() {
+					// A body flit with no route state means the head was
+					// mis-sequenced; impossible by construction.
+					panic("noc: body flit at port head without route state")
+				}
+				return routeXY(cur, f.Pkt.Dst) == o
+			}
+			winner, ok := r.arbitrate(o, req)
+			if !ok {
+				continue
+			}
+			n.Act.Arb[i]++
+			ip := &r.in[winner]
+			f := ip.buf.pop()
+			n.Act.BufReads[i]++
+			n.Act.Xbar[i]++
+			op.flit = f
+			op.valid = true
+			if f.IsHead() {
+				op.owner = winner
+				op.owned = true
+				ip.route = o
+				ip.holding = true
+			}
+			if f.IsTail() {
+				op.owned = false
+				ip.holding = false
+			}
+		}
+	}
+}
+
+// inject moves flits from NI queues into the Local input buffers.
+func (n *Network) inject() {
+	for i := range n.routers {
+		q := &n.nis[i]
+		if len(q.queue) == 0 {
+			q.queue = nil
+			continue
+		}
+		buf := &n.routers[i].in[Local].buf
+		// One flit per cycle across the NI-router interface.
+		if !buf.full() {
+			buf.push(q.queue[0])
+			n.Act.BufWrites[i]++
+			q.queue = q.queue[1:]
+		}
+	}
+}
+
+// ResetStats clears the performance counters and activity counters while
+// leaving in-flight traffic untouched; the runtime manager calls this at
+// migration-period boundaries to window the power measurement.
+func (n *Network) ResetStats() {
+	n.Stats = Stats{}
+	n.Act.Reset()
+}
+
+// QueuedFlits returns the number of flits waiting in NI injection queues,
+// a congestion diagnostic for the migration planner tests.
+func (n *Network) QueuedFlits() int {
+	total := 0
+	for i := range n.nis {
+		total += len(n.nis[i].queue)
+	}
+	return total
+}

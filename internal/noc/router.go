@@ -1,0 +1,94 @@
+package noc
+
+// fifo is a fixed-capacity flit FIFO implemented as a ring buffer; input
+// buffers are the only queues inside a router.
+type fifo struct {
+	slots []Flit
+	head  int
+	n     int
+}
+
+func newFifo(capacity int) fifo {
+	return fifo{slots: make([]Flit, capacity)}
+}
+
+func (q *fifo) len() int    { return q.n }
+func (q *fifo) full() bool  { return q.n == len(q.slots) }
+func (q *fifo) empty() bool { return q.n == 0 }
+func (q *fifo) front() Flit { return q.slots[q.head] }
+func (q *fifo) space() int  { return len(q.slots) - q.n }
+
+func (q *fifo) push(f Flit) {
+	if q.full() {
+		panic("noc: push to full fifo (flow control broken)")
+	}
+	q.slots[(q.head+q.n)%len(q.slots)] = f
+	q.n++
+}
+
+func (q *fifo) pop() Flit {
+	if q.empty() {
+		panic("noc: pop from empty fifo")
+	}
+	f := q.slots[q.head]
+	q.slots[q.head] = Flit{}
+	q.head = (q.head + 1) % len(q.slots)
+	q.n--
+	return f
+}
+
+// inPort is one input port: a FIFO plus the wormhole route state of the
+// packet currently flowing through it.
+type inPort struct {
+	buf fifo
+	// route is the output port allocated to the in-flight worm.
+	route Dir
+	// holding is true while a worm's flits still follow route.
+	holding bool
+}
+
+// outPort is a one-deep output latch feeding the link to the neighbour
+// (or the ejection path for Local).
+type outPort struct {
+	flit  Flit
+	valid bool
+	// owner is the input port whose worm currently owns this output;
+	// ownership starts at head grant and ends when the tail traverses.
+	owner Dir
+	owned bool
+	// rr is the round-robin arbitration pointer over input ports.
+	rr Dir
+}
+
+// router is one mesh node. All state transitions happen inside
+// Network.Step in a fixed phase order, so routers need no goroutines and
+// the simulation is bit-reproducible.
+type router struct {
+	pos   int // row-major block index
+	coord struct{ x, y int }
+	in    [numDirs]inPort
+	out   [numDirs]outPort
+}
+
+// arbitrate runs one round of switch allocation for output port o,
+// returning the winning input port and whether anyone won. Round-robin
+// starts after the previous winner, giving each input fair access — the
+// same policy for every router keeps migration timing deterministic.
+func (r *router) arbitrate(o Dir, request func(in Dir) bool) (Dir, bool) {
+	op := &r.out[o]
+	if op.owned {
+		// Wormhole continuity: only the owner may use the port.
+		if request(op.owner) {
+			return op.owner, true
+		}
+		return 0, false
+	}
+	for k := 1; k <= int(numDirs); k++ {
+		cand := Dir((int(op.rr) + k) % int(numDirs))
+		if request(cand) {
+			op.rr = cand
+			return cand, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,46 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotnoc/internal/floorplan"
+	"hotnoc/internal/geom"
+	"hotnoc/internal/thermal"
+)
+
+// BenchmarkAnneal measures a paper-scale thermally-aware placement run
+// (25 PEs, 25k proposed swaps, thermal + communication objective).
+func BenchmarkAnneal(b *testing.B) {
+	g := geom.NewGrid(5, 5)
+	nw, err := thermal.NewNetwork(floorplan.NewMesh(g), thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inf, err := thermal.NewInfluence(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	pw := make([]float64, g.N())
+	for i := range pw {
+		pw[i] = 0.2 + r.Float64()
+	}
+	traffic := make([][]int64, g.N())
+	for i := range traffic {
+		traffic[i] = make([]int64, g.N())
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			v := int64(r.Intn(100))
+			traffic[i][j], traffic[j][i] = v, v
+		}
+	}
+	prob := &Problem{Grid: g, Inf: inf, PEPower: pw, Traffic: traffic, CommWeight: 1e-3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anneal(prob, Options{Seed: int64(i), Iters: 25000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

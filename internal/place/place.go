@@ -1,0 +1,240 @@
+// Package place implements the thermally-aware static placement the paper
+// uses to generate its initial mappings ("our workload was mapped onto PEs
+// using a thermally-aware placement algorithm that minimizes the peak
+// temperature"). Placement is simulated annealing over logical-to-physical
+// PE bijections with a two-term objective: the steady-state peak
+// temperature of the resulting power map (evaluated through the precomputed
+// thermal-influence matrix, so each candidate costs one small mat-vec) plus
+// a weighted communication cost (message-hops), reflecting that real
+// mappings must also respect interconnect locality. Starting the paper's
+// evaluation from such a mapping puts runtime reconfiguration in a
+// worst-case light: design-time optimisation has already flattened the
+// profile as far as a static mapping can.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hotnoc/internal/geom"
+	"hotnoc/internal/power"
+	"hotnoc/internal/thermal"
+)
+
+// Problem describes one placement instance over a grid of PEs.
+type Problem struct {
+	// Grid is the physical PE array.
+	Grid geom.Grid
+	// Inf is the thermal influence operator of the chip's floorplan.
+	Inf *thermal.Influence
+	// PEPower holds each logical PE's estimated power in watts (compute
+	// plus its share of network power).
+	PEPower []float64
+	// Traffic[i][j] is the messages-per-iteration between logical PEs i
+	// and j (symmetric, zero diagonal); nil disables the term.
+	Traffic [][]int64
+	// CommWeight converts message-hops into objective units (°C
+	// equivalents). Zero gives a purely thermal placement.
+	CommWeight float64
+	// IOTraffic[i] is logical PE i's traffic to the chip's I/O interface
+	// (channel LLRs in, hard decisions out); nil disables the term. Real
+	// LDPC NoC chips stream blocks through edge pads, which anchors
+	// I/O-heavy PEs near the interface and gives placements the banded
+	// structure the paper observes.
+	IOTraffic []int64
+	// IOCoord is the mesh-side position of the I/O interface.
+	IOCoord geom.Coord
+	// IOWeight converts I/O message-hops into objective units.
+	IOWeight float64
+}
+
+// Validate reports structural problems.
+func (p *Problem) Validate() error {
+	n := p.Grid.N()
+	if p.Inf == nil || p.Inf.N != n {
+		return fmt.Errorf("place: influence matrix missing or sized %d for %d PEs",
+			infN(p.Inf), n)
+	}
+	if len(p.PEPower) != n {
+		return fmt.Errorf("place: %d PE powers for %d PEs", len(p.PEPower), n)
+	}
+	for i, w := range p.PEPower {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("place: PE %d has invalid power %g", i, w)
+		}
+	}
+	if p.Traffic != nil {
+		if len(p.Traffic) != n {
+			return fmt.Errorf("place: traffic matrix is %dx? for %d PEs", len(p.Traffic), n)
+		}
+		for i := range p.Traffic {
+			if len(p.Traffic[i]) != n {
+				return fmt.Errorf("place: traffic row %d has %d entries", i, len(p.Traffic[i]))
+			}
+		}
+	}
+	if p.CommWeight < 0 {
+		return fmt.Errorf("place: negative communication weight %g", p.CommWeight)
+	}
+	if p.IOTraffic != nil {
+		if len(p.IOTraffic) != n {
+			return fmt.Errorf("place: %d I/O traffic entries for %d PEs", len(p.IOTraffic), n)
+		}
+		if !p.Grid.Contains(p.IOCoord) {
+			return fmt.Errorf("place: I/O interface at %v outside the grid", p.IOCoord)
+		}
+	}
+	if p.IOWeight < 0 {
+		return fmt.Errorf("place: negative I/O weight %g", p.IOWeight)
+	}
+	return nil
+}
+
+func infN(inf *thermal.Influence) int {
+	if inf == nil {
+		return 0
+	}
+	return inf.N
+}
+
+// Options tunes the annealer.
+type Options struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Iters is the number of proposed swaps (default 20000).
+	Iters int
+	// TStart and TEnd bound the geometric cooling schedule in objective
+	// units (defaults 5.0 and 0.01).
+	TStart, TEnd float64
+	// Initial, when non-nil, seeds the search; otherwise identity.
+	Initial []int
+}
+
+func (o *Options) setDefaults() {
+	if o.Iters <= 0 {
+		o.Iters = 20000
+	}
+	if o.TStart <= 0 {
+		o.TStart = 5.0
+	}
+	if o.TEnd <= 0 || o.TEnd >= o.TStart {
+		o.TEnd = 0.01
+	}
+}
+
+// Result is the annealer's best placement and its objective breakdown.
+type Result struct {
+	// Place maps logical PE -> physical block index.
+	Place []int
+	// PeakC is the steady-state peak temperature of the placed power map.
+	PeakC float64
+	// CommHops is the total message-hop count of the placement.
+	CommHops float64
+	// Cost is PeakC + CommWeight*CommHops, the annealed objective.
+	Cost float64
+	// Accepted counts accepted moves, a convergence diagnostic.
+	Accepted int
+}
+
+// Anneal searches for a placement minimising the combined objective.
+func Anneal(p *Problem, opts Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts.setDefaults()
+	n := p.Grid.N()
+
+	cur := make([]int, n)
+	if opts.Initial != nil {
+		if len(opts.Initial) != n {
+			return Result{}, fmt.Errorf("place: initial placement has %d entries for %d PEs",
+				len(opts.Initial), n)
+		}
+		seen := make([]bool, n)
+		for _, b := range opts.Initial {
+			if b < 0 || b >= n || seen[b] {
+				return Result{}, fmt.Errorf("place: initial placement is not a bijection")
+			}
+			seen[b] = true
+		}
+		copy(cur, opts.Initial)
+	} else {
+		for i := range cur {
+			cur[i] = i
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	eval := func(place []int) (float64, float64, float64) {
+		peak := p.Inf.PeakTemp(power.Permute(p.PEPower, place))
+		hops := 0.0
+		if p.Traffic != nil && p.CommWeight > 0 {
+			hops = commHops(p.Grid, p.Traffic, place)
+		}
+		cost := peak + p.CommWeight*hops
+		if p.IOTraffic != nil && p.IOWeight > 0 {
+			io := 0.0
+			for i, v := range p.IOTraffic {
+				if v != 0 {
+					io += float64(v) * float64(p.IOCoord.Manhattan(p.Grid.Coord(place[i])))
+				}
+			}
+			cost += p.IOWeight * io
+		}
+		return cost, peak, hops
+	}
+
+	curCost, bestPeak, bestHops := eval(cur)
+	best := append([]int(nil), cur...)
+	bestCost := curCost
+	accepted := 0
+
+	cool := math.Pow(opts.TEnd/opts.TStart, 1/float64(opts.Iters))
+	temp := opts.TStart
+	for it := 0; it < opts.Iters; it++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			temp *= cool
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		cost, peak, hops := eval(cur)
+		if cost <= curCost || rng.Float64() < math.Exp((curCost-cost)/temp) {
+			curCost = cost
+			accepted++
+			if cost < bestCost {
+				bestCost, bestPeak, bestHops = cost, peak, hops
+				copy(best, cur)
+			}
+		} else {
+			cur[i], cur[j] = cur[j], cur[i] // revert
+		}
+		temp *= cool
+	}
+
+	return Result{
+		Place:    best,
+		PeakC:    bestPeak,
+		CommHops: bestHops,
+		Cost:     bestCost,
+		Accepted: accepted,
+	}, nil
+}
+
+// commHops computes total message-hops of a placement: traffic volume
+// between two logical PEs times the Manhattan distance of their physical
+// blocks (each unordered pair counted once from the symmetric matrix).
+func commHops(g geom.Grid, traffic [][]int64, place []int) float64 {
+	total := 0.0
+	for i := range traffic {
+		ci := g.Coord(place[i])
+		for j := i + 1; j < len(traffic); j++ {
+			if traffic[i][j] == 0 {
+				continue
+			}
+			total += float64(traffic[i][j]) * float64(ci.Manhattan(g.Coord(place[j])))
+		}
+	}
+	return total
+}

@@ -1,0 +1,151 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// heat maps and CSV — the presentation layer for the cmd tools, examples
+// and EXPERIMENTS.md regeneration.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.2f.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with right-aligned numeric-looking columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i, w := range widths {
+		rule[i] = strings.Repeat("-", w)
+	}
+	writeRow(rule)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// HeatMap renders a W x H field of values (row-major, row 0 at the south
+// edge) as an ASCII map: each cell shows its value, and a shade character
+// scales from '.' (coolest) to '#' (hottest). North is printed first so
+// the map matches the floorplan orientation.
+func HeatMap(w, h int, values []float64, unit string) string {
+	if len(values) != w*h {
+		return fmt.Sprintf("heatmap: %d values for %dx%d grid\n", len(values), w, h)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	shades := []byte(".:-=+*%#")
+	shade := func(v float64) byte {
+		if max == min {
+			return shades[0]
+		}
+		i := int((v - min) / (max - min) * float64(len(shades)-1))
+		return shades[i]
+	}
+	var b strings.Builder
+	for y := h - 1; y >= 0; y-- {
+		for x := 0; x < w; x++ {
+			v := values[y*w+x]
+			fmt.Fprintf(&b, " %c%6.2f", shade(v), v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "min %.2f%s  max %.2f%s\n", min, unit, max, unit)
+	return b.String()
+}
+
+// Bar renders a labelled horizontal bar chart for a set of (label, value)
+// pairs — the text analogue of the paper's Figure 1 bars. Negative values
+// render to the left of the axis.
+func Bar(labels []string, values []float64, unit string) string {
+	maxAbs := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	const width = 40
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxAbs * width))
+		bar := strings.Repeat("#", n)
+		if v < 0 {
+			fmt.Fprintf(&b, "%-*s %8.2f%s -%s\n", maxLabel, labels[i], v, unit, bar)
+		} else {
+			fmt.Fprintf(&b, "%-*s %8.2f%s +%s\n", maxLabel, labels[i], v, unit, bar)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("cfg", "reduction")
+	tb.AddRow("A", 7.67)
+	tb.AddRow("E", -0.02)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "7.67") || !strings.Contains(lines[3], "-0.02") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) != width {
+			t.Fatalf("line %d width %d != header width %d:\n%s", i, len(l), width, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("with,comma", 2.0)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "a,b\n") || !strings.Contains(got, `"with,comma",2.00`) {
+		t.Fatalf("bad CSV:\n%s", got)
+	}
+}
+
+func TestHeatMapOrientation(t *testing.T) {
+	// Row-major with row 0 at the south edge; the hottest cell is at
+	// (1,1) (north-east of a 2x2), so it must appear on the FIRST line.
+	out := HeatMap(2, 2, []float64{40, 41, 42, 99}, "C")
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "99.00") {
+		t.Fatalf("north row not first:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("hottest cell not shaded '#':\n%s", out)
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Fatalf("coolest cell not shaded '.':\n%s", out)
+	}
+	if !strings.Contains(out, "min 40.00C") || !strings.Contains(out, "max 99.00C") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestHeatMapSizeMismatch(t *testing.T) {
+	out := HeatMap(2, 2, []float64{1, 2, 3}, "C")
+	if !strings.Contains(out, "heatmap:") {
+		t.Fatal("size mismatch not reported")
+	}
+}
+
+func TestHeatMapUniform(t *testing.T) {
+	out := HeatMap(2, 1, []float64{5, 5}, "")
+	if strings.Count(out, ".") < 2 {
+		t.Fatalf("uniform field should use the coolest shade:\n%s", out)
+	}
+}
+
+func TestBarNegative(t *testing.T) {
+	out := Bar([]string{"Rot", "X-Y Shift"}, []float64{-0.5, 6.0}, "C")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bar chart has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "-#") && !strings.Contains(lines[0], "-0.50") {
+		t.Fatalf("negative bar malformed:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") != 40 {
+		t.Fatalf("max bar should span full width:\n%s", out)
+	}
+}
+
+func TestBarZeros(t *testing.T) {
+	out := Bar([]string{"a"}, []float64{0}, "")
+	if !strings.Contains(out, "0.00") {
+		t.Fatalf("zero bar missing value:\n%s", out)
+	}
+}

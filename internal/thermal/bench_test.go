@@ -1,0 +1,101 @@
+package thermal
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotnoc/internal/floorplan"
+	"hotnoc/internal/geom"
+)
+
+func benchNetwork(b *testing.B, n int) *Network {
+	b.Helper()
+	nw, err := NewNetwork(floorplan.NewMesh(geom.NewGrid(n, n)), DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+func benchPower(n int) []float64 {
+	r := rand.New(rand.NewSource(1))
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = r.Float64() * 2
+	}
+	return p
+}
+
+// BenchmarkFactor measures one LU factorisation of the 5x5 chip's
+// 51-node conductance matrix.
+func BenchmarkFactor(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(nw.G); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadySolve measures one steady-state solve with a prefactored
+// system — the placement annealer's inner loop before the influence-matrix
+// optimisation.
+func BenchmarkSteadySolve(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	s, err := NewSteadySolver(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchPower(nw.NDie)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(p)
+	}
+}
+
+// BenchmarkInfluencePeak measures the annealer's actual inner loop: one
+// peak-temperature evaluation through the influence matrix.
+func BenchmarkInfluencePeak(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	inf, err := NewInfluence(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchPower(nw.NDie)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf.PeakTemp(p)
+	}
+}
+
+// BenchmarkTransientStep measures one backward-Euler step of the 5x5 model.
+func BenchmarkTransientStep(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	tr, err := NewTransient(nw, 5e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchPower(nw.NDie)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(p)
+	}
+}
+
+// BenchmarkRunCycle measures a full quasi-steady cycle evaluation of a
+// four-entry schedule, the thermal cost of one scheme evaluation.
+func BenchmarkRunCycle(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	entries := make([]ScheduleEntry, 4)
+	for k := range entries {
+		p := benchPower(nw.NDie)
+		entries[k] = ScheduleEntry{Power: p, Duration: 120e-6}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCycle(nw, entries, CycleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package thermal implements a HotSpot-style compact thermal model for NoC
+// floorplans: every floorplan block becomes a node in an equivalent RC
+// circuit with lateral resistances to its neighbours and a vertical path
+// through a copper heat spreader and heat sink to the 40 °C ambient, exactly
+// the modelling approach of the HotSpot library the paper uses. The package
+// provides a steady-state solver (for static placements and the
+// thermal-influence matrix used by placement), and a backward-Euler
+// transient solver (for the migration thermal cycles).
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a square dense matrix stored row-major. The thermal systems are
+// tiny (two nodes per block plus one sink node: 33 for a 4x4 chip, 51 for a
+// 5x5), so dense LU factorisation is both the simplest and the fastest
+// approach.
+type Dense struct {
+	N int
+	A []float64
+}
+
+// NewDense returns an n x n zero matrix.
+func NewDense(n int) *Dense {
+	if n <= 0 {
+		panic(fmt.Sprintf("thermal: invalid matrix size %d", n))
+	}
+	return &Dense{N: n, A: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.A[i*m.N+j] }
+
+// Set writes element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.A[i*m.N+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *Dense) Add(i, j int, v float64) { m.A[i*m.N+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.N)
+	copy(c.A, m.A)
+	return c
+}
+
+// MulVec computes dst = M · x. dst and x must not alias.
+func (m *Dense) MulVec(dst, x []float64) {
+	if len(dst) != m.N || len(x) != m.N {
+		panic("thermal: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		row := m.A[i*m.N : (i+1)*m.N]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// LU holds an LU factorisation with partial pivoting (Doolittle form, L
+// unit-diagonal, stored in place).
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorisation of m. It returns an error if the
+// matrix is singular to working precision, which for a thermal network
+// indicates a node with no path to ambient.
+func Factor(m *Dense) (*LU, error) {
+	n := m.N
+	f := &LU{n: n, lu: append([]float64(nil), m.A...), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude in this column.
+		p, max := col, math.Abs(f.lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(f.lu[r*n+col]); a > max {
+				p, max = r, a
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("thermal: singular system (pivot column %d); some node has no path to ambient", col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				f.lu[p*n+j], f.lu[col*n+j] = f.lu[col*n+j], f.lu[p*n+j]
+			}
+			f.piv[p], f.piv[col] = f.piv[col], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivVal := f.lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			l := f.lu[r*n+col] / pivVal
+			f.lu[r*n+col] = l
+			if l == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				f.lu[r*n+j] -= l * f.lu[col*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves M·x = b into dst. dst and b may alias.
+func (f *LU) Solve(dst, b []float64) {
+	if len(dst) != f.n || len(b) != f.n {
+		panic("thermal: Solve dimension mismatch")
+	}
+	n := f.n
+	// Apply the pivot permutation.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, l := range row {
+			s -= l * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	copy(dst, x)
+}
+
+// vecMaxAbsDiff returns max_i |a[i]-b[i]|, the convergence metric for the
+// transient solver's quasi-steady detection.
+func vecMaxAbsDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,120 @@
+package thermal
+
+import "fmt"
+
+// SteadySolver solves the steady-state thermal problem G·T = P + B for a
+// fixed network, reusing one LU factorisation across any number of power
+// maps. This is the hot path of thermally-aware placement, which evaluates
+// thousands of candidate mappings.
+type SteadySolver struct {
+	nw *Network
+	lu *LU
+	// scratch buffers to keep Solve allocation-free after the first call.
+	p []float64
+	t []float64
+}
+
+// NewSteadySolver factorises the network's conductance matrix once.
+func NewSteadySolver(nw *Network) (*SteadySolver, error) {
+	lu, err := Factor(nw.G)
+	if err != nil {
+		return nil, err
+	}
+	return &SteadySolver{
+		nw: nw,
+		lu: lu,
+		p:  make([]float64, nw.NNodes),
+		t:  make([]float64, nw.NNodes),
+	}, nil
+}
+
+// Solve returns the steady-state die temperatures (°C) for a per-block
+// power map in watts.
+func (s *SteadySolver) Solve(blockPower []float64) []float64 {
+	s.nw.powerVector(s.p, blockPower)
+	for i := range s.p {
+		s.p[i] += s.nw.B[i]
+	}
+	s.lu.Solve(s.t, s.p)
+	return s.nw.DieTemps(s.t)
+}
+
+// SolveFull returns the full node temperature vector, including spreader
+// and sink nodes, for diagnostics.
+func (s *SteadySolver) SolveFull(blockPower []float64) []float64 {
+	s.nw.powerVector(s.p, blockPower)
+	for i := range s.p {
+		s.p[i] += s.nw.B[i]
+	}
+	out := make([]float64, s.nw.NNodes)
+	s.lu.Solve(out, s.p)
+	return out
+}
+
+// Influence is the precomputed linear thermal operator of a network:
+//
+//	T_die = Ambient + A · P_die
+//
+// A[i][j] is the temperature rise at die block i per watt dissipated in die
+// block j. Because the conductance matrix is symmetric (thermal
+// reciprocity), A is symmetric. Placement uses A to evaluate the peak
+// temperature of a candidate mapping in O(n²) with no linear solve.
+type Influence struct {
+	N int
+	A *Dense
+	// Ambient is the paper's 40 °C boundary temperature.
+	Ambient float64
+}
+
+// NewInfluence computes the influence matrix column by column (one solve
+// per block with a unit power impulse).
+func NewInfluence(nw *Network) (*Influence, error) {
+	s, err := NewSteadySolver(nw)
+	if err != nil {
+		return nil, err
+	}
+	n := nw.NDie
+	inf := &Influence{N: n, A: NewDense(n), Ambient: nw.Par.AmbientC}
+	unit := make([]float64, n)
+	for j := 0; j < n; j++ {
+		unit[j] = 1
+		col := s.Solve(unit)
+		unit[j] = 0
+		for i := 0; i < n; i++ {
+			inf.A.Set(i, j, col[i]-nw.Par.AmbientC)
+		}
+	}
+	return inf, nil
+}
+
+// Temps returns die temperatures for a power map via the influence matrix.
+func (inf *Influence) Temps(blockPower []float64) []float64 {
+	if len(blockPower) != inf.N {
+		panic(fmt.Sprintf("thermal: power map has %d entries for %d blocks",
+			len(blockPower), inf.N))
+	}
+	out := make([]float64, inf.N)
+	inf.A.MulVec(out, blockPower)
+	for i := range out {
+		out[i] += inf.Ambient
+	}
+	return out
+}
+
+// PeakTemp returns only the hottest block's temperature for a power map;
+// this is the placement objective, kept allocation-light.
+func (inf *Influence) PeakTemp(blockPower []float64) float64 {
+	peak := inf.Ambient
+	n := inf.N
+	for i := 0; i < n; i++ {
+		row := inf.A.A[i*n : (i+1)*n]
+		t := inf.Ambient
+		for j, a := range row {
+			t += a * blockPower[j]
+		}
+		if t > peak {
+			peak = t
+		}
+	}
+	return peak
+}
