@@ -1,6 +1,7 @@
 package hotnoc
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -94,6 +95,57 @@ func BenchmarkPeriodSweep(b *testing.B) {
 			b.ReportMetric(last.PeriodSec*1e6, "µs-period")
 		})
 	}
+}
+
+// BenchmarkPeriodSweepShared is the period study on the split pipeline:
+// one NoC characterization shared by all three periods, against
+// BenchmarkPeriodSweep's three fused Runs. The decodes/sweep metric shows
+// the saving directly — (orbit+1) engine decodes here versus 3·(orbit+1)
+// for three fused Runs — alongside the wall-clock speedup.
+func BenchmarkPeriodSweepShared(b *testing.B) {
+	built := fullBuild(b, "A")
+	sys := built.System
+	start := sys.Engine.Decodes
+	var last RunResult
+	for i := 0; i < b.N; i++ {
+		ch, err := sys.Characterize(XYShift())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, blocks := range []int{1, 4, 8} {
+			res, err := sys.Evaluate(ch, core.EvalConfig{BlocksPerPeriod: blocks})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+	}
+	b.ReportMetric(float64(sys.Engine.Decodes-start)/float64(b.N), "decodes/sweep")
+	b.ReportMetric(last.ThroughputPenalty*100, "%-penalty-8blk")
+	b.ReportMetric(last.MigratedPeakC, "°C-peak-8blk")
+}
+
+// BenchmarkSweepFigure1 runs the whole Figure 1 grid through the
+// concurrent sweep engine (all configurations and schemes, one worker per
+// core), the headline workload of the orchestration layer.
+func BenchmarkSweepFigure1(b *testing.B) {
+	r := NewSweepRunner(SweepOptions{Scale: 1})
+	pts := SweepGrid([]string{"A", "B", "C", "D", "E"}, Schemes(), nil)
+	var outs []SweepOutcome
+	for i := 0; i < b.N; i++ {
+		o, err := r.Run(context.Background(), pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs = o
+	}
+	mean := 0.0
+	for _, o := range outs {
+		if o.Point.Scheme.Name == "X-Y Shift" {
+			mean += o.Result.ReductionC / 5
+		}
+	}
+	b.ReportMetric(mean, "°C-xyshift-mean")
 }
 
 // BenchmarkMigrationEnergy regenerates the §3 rotation-energy observation

@@ -4,17 +4,21 @@
 //
 // Usage:
 //
-//	figure1 [-scale N] [-configs A,B,C,D,E] [-csv] [-bars]
+//	figure1 [-scale N] [-configs A,B,C,D,E] [-workers N] [-csv] [-bars]
 //
 // -scale divides the workload size (1 = full paper scale, slower; 8 is a
-// quick smoke run). -csv emits machine-readable output; -bars renders the
+// quick smoke run). -workers bounds the sweep engine's worker pool
+// (0 = one per core); the 25-cell grid runs concurrently and Ctrl-C
+// cancels cleanly. -csv emits machine-readable output; -bars renders the
 // figure as text bar charts per configuration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hotnoc"
@@ -24,12 +28,16 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	configs := flag.String("configs", "A,B,C,D,E", "comma-separated configuration letters")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	bars := flag.Bool("bars", false, "also render per-configuration bar charts")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	names := strings.Split(*configs, ",")
-	res, err := hotnoc.RunFigure1(*scale, names)
+	res, err := hotnoc.RunFigure1Ctx(ctx, *scale, names, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figure1:", err)
 		os.Exit(1)

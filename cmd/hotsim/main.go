@@ -5,12 +5,17 @@
 // Usage:
 //
 //	hotsim [-config A] [-scheme rot] [-blocks 1] [-scale N] [-nomigenergy]
+//
+// The evaluation runs through the sweep engine, so Ctrl-C cancels cleanly
+// between pipeline stages.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"hotnoc"
 	"hotnoc/internal/report"
@@ -24,25 +29,25 @@ func main() {
 	noMigEnergy := flag.Bool("nomigenergy", false, "exclude migration energy (ablation)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	scheme, err := hotnoc.SchemeByName(*schemeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotsim:", err)
 		os.Exit(1)
 	}
-	built, err := hotnoc.BuildConfig(*config, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hotsim:", err)
-		os.Exit(1)
-	}
-	res, err := built.System.Run(hotnoc.RunConfig{
+	outs, err := hotnoc.Sweep(ctx, []hotnoc.SweepPoint{{
+		Config:                 *config,
 		Scheme:                 scheme,
-		BlocksPerPeriod:        *blocks,
+		Blocks:                 *blocks,
 		ExcludeMigrationEnergy: *noMigEnergy,
-	})
+	}}, hotnoc.SweepOptions{Scale: *scale})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotsim:", err)
 		os.Exit(1)
 	}
+	built, res := outs[0].Built, outs[0].Result
 
 	g := built.System.Grid
 	fmt.Printf("configuration %s (%dx%d, energy scale %.2f, block %d cycles ≈ %.1f µs)\n",

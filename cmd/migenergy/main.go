@@ -7,13 +7,18 @@
 //
 // Usage:
 //
-//	migenergy [-config E] [-scale N]
+//	migenergy [-config E] [-scale N] [-workers N]
+//
+// The schemes run concurrently on the sweep engine, and each scheme's
+// with/without pair shares one NoC characterization.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"hotnoc"
 	"hotnoc/internal/report"
@@ -22,9 +27,13 @@ import (
 func main() {
 	config := flag.String("config", "E", "configuration letter (A-E)")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	flag.Parse()
 
-	studies, err := hotnoc.RunMigrationEnergy(*config, *scale)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	studies, err := hotnoc.RunMigrationEnergyCtx(ctx, *config, *scale, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migenergy:", err)
 		os.Exit(1)

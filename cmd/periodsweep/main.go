@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	periodsweep [-config A] [-scheme "x-y shift"] [-blocks 1,4,8] [-scale N]
+//	periodsweep [-config A] [-scheme "x-y shift"] [-blocks 1,4,8] [-scale N] [-workers N]
+//
+// All periods share one NoC characterization on the sweep engine — only
+// the cheap thermal evaluation runs per period.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -24,7 +29,11 @@ func main() {
 	schemeName := flag.String("scheme", "x-y shift", "migration scheme")
 	blocksArg := flag.String("blocks", "1,4,8", "comma-separated periods in blocks")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	scheme, err := hotnoc.SchemeByName(*schemeName)
 	if err != nil {
@@ -41,7 +50,7 @@ func main() {
 		blocks = append(blocks, n)
 	}
 
-	pts, err := hotnoc.RunPeriodSweep(*config, scheme, blocks, *scale)
+	pts, err := hotnoc.RunPeriodSweepCtx(ctx, *config, scheme, blocks, *scale, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "periodsweep:", err)
 		os.Exit(1)

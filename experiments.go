@@ -1,6 +1,7 @@
 package hotnoc
 
 import (
+	"context"
 	"fmt"
 
 	"hotnoc/internal/geom"
@@ -39,29 +40,38 @@ type Figure1Result struct {
 // RunFigure1 regenerates Figure 1: every migration scheme on every circuit
 // configuration, at the base one-block migration period. scale divides the
 // workload size (1 = paper scale); configs limits the set (nil = A-E).
+// The grid runs on the concurrent sweep engine, one worker per core.
 func RunFigure1(scale int, configs []string) (*Figure1Result, error) {
+	return RunFigure1Ctx(context.Background(), scale, configs, 0)
+}
+
+// RunFigure1Ctx is RunFigure1 with context cancellation and an explicit
+// worker count (0 = GOMAXPROCS).
+func RunFigure1Ctx(ctx context.Context, scale int, configs []string, workers int) (*Figure1Result, error) {
 	if configs == nil {
 		configs = []string{"A", "B", "C", "D", "E"}
 	}
+	pts := SweepGrid(configs, Schemes(), nil)
+	outs, err := Sweep(ctx, pts, SweepOptions{Scale: scale, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	// Outcomes arrive in point order: configuration-major, scheme-minor,
+	// one row of len(Schemes()) cells per requested configuration (repeats
+	// included).
 	out := &Figure1Result{MeanReductionC: map[string]float64{}}
-	for _, name := range configs {
-		built, err := BuildConfig(name, scale)
-		if err != nil {
-			return nil, err
-		}
-		row := Figure1Row{Config: name, BasePeakC: built.StaticPeakC}
-		for _, s := range Schemes() {
-			res, err := built.System.Run(RunConfig{Scheme: s})
-			if err != nil {
-				return nil, fmt.Errorf("config %s scheme %s: %w", name, s.Name, err)
-			}
+	nSchemes := len(Schemes())
+	for ri, name := range configs {
+		rowOuts := outs[ri*nSchemes : (ri+1)*nSchemes]
+		row := Figure1Row{Config: name, BasePeakC: rowOuts[0].Built.StaticPeakC}
+		for _, o := range rowOuts {
 			row.Cells = append(row.Cells, Figure1Cell{
-				Scheme:            s.Name,
-				ReductionC:        res.ReductionC,
-				MigratedPeakC:     res.MigratedPeakC,
-				ThroughputPenalty: res.ThroughputPenalty,
+				Scheme:            o.Point.Scheme.Name,
+				ReductionC:        o.Result.ReductionC,
+				MigratedPeakC:     o.Result.MigratedPeakC,
+				ThroughputPenalty: o.Result.ThroughputPenalty,
 			})
-			out.MeanReductionC[s.Name] += res.ReductionC / float64(len(configs))
+			out.MeanReductionC[o.Point.Scheme.Name] += o.Result.ReductionC / float64(len(configs))
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -108,26 +118,30 @@ type PeriodPoint struct {
 
 // RunPeriodSweep regenerates the migration-period trade-off on one
 // configuration with one scheme: longer periods cut the throughput penalty
-// while the peak temperature rises only marginally.
+// while the peak temperature rises only marginally. All periods share one
+// NoC characterization; only the thermal evaluation runs per period.
 func RunPeriodSweep(config string, scheme Scheme, blocks []int, scale int) ([]PeriodPoint, error) {
+	return RunPeriodSweepCtx(context.Background(), config, scheme, blocks, scale, 0)
+}
+
+// RunPeriodSweepCtx is RunPeriodSweep with context cancellation and an
+// explicit worker count (0 = GOMAXPROCS).
+func RunPeriodSweepCtx(ctx context.Context, config string, scheme Scheme, blocks []int, scale, workers int) ([]PeriodPoint, error) {
 	if len(blocks) == 0 {
 		blocks = []int{1, 4, 8}
 	}
-	built, err := BuildConfig(config, scale)
+	pts := SweepGrid([]string{config}, []Scheme{scheme}, blocks)
+	outs, err := Sweep(ctx, pts, SweepOptions{Scale: scale, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	var out []PeriodPoint
-	for _, b := range blocks {
-		res, err := built.System.Run(RunConfig{Scheme: scheme, BlocksPerPeriod: b})
-		if err != nil {
-			return nil, fmt.Errorf("period %d blocks: %w", b, err)
-		}
+	for _, o := range outs {
 		out = append(out, PeriodPoint{
-			Blocks:            b,
-			PeriodSec:         res.PeriodSec,
-			ThroughputPenalty: res.ThroughputPenalty,
-			PeakC:             res.MigratedPeakC,
+			Blocks:            o.Point.Blocks,
+			PeriodSec:         o.Result.PeriodSec,
+			ThroughputPenalty: o.Result.ThroughputPenalty,
+			PeakC:             o.Result.MigratedPeakC,
 		})
 	}
 	for i := range out {
@@ -154,29 +168,35 @@ type EnergyStudy struct {
 }
 
 // RunMigrationEnergy regenerates the migration-energy ablation for every
-// scheme on one configuration (the paper highlights rotation on E).
+// scheme on one configuration (the paper highlights rotation on E). The
+// with/without pair of each scheme shares one NoC characterization.
 func RunMigrationEnergy(config string, scale int) ([]EnergyStudy, error) {
-	built, err := BuildConfig(config, scale)
+	return RunMigrationEnergyCtx(context.Background(), config, scale, 0)
+}
+
+// RunMigrationEnergyCtx is RunMigrationEnergy with context cancellation
+// and an explicit worker count (0 = GOMAXPROCS).
+func RunMigrationEnergyCtx(ctx context.Context, config string, scale, workers int) ([]EnergyStudy, error) {
+	var pts []SweepPoint
+	for _, s := range Schemes() {
+		pts = append(pts,
+			SweepPoint{Config: config, Scheme: s},
+			SweepPoint{Config: config, Scheme: s, ExcludeMigrationEnergy: true})
+	}
+	outs, err := Sweep(ctx, pts, SweepOptions{Scale: scale, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	var out []EnergyStudy
-	for _, s := range Schemes() {
-		with, err := built.System.Run(RunConfig{Scheme: s})
-		if err != nil {
-			return nil, err
-		}
-		without, err := built.System.Run(RunConfig{Scheme: s, ExcludeMigrationEnergy: true})
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i < len(outs); i += 2 {
+		with, without := outs[i].Result, outs[i+1].Result
 		var cycles int64
 		for _, leg := range with.Legs {
 			cycles += leg.Migration.Cycles
 		}
 		cycles /= int64(len(with.Legs))
 		out = append(out, EnergyStudy{
-			Scheme:            s.Name,
+			Scheme:            outs[i].Point.Scheme.Name,
 			MeanWithC:         with.MigratedMeanC,
 			MeanWithoutC:      without.MigratedMeanC,
 			DeltaMeanC:        with.MigratedMeanC - without.MigratedMeanC,

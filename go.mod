@@ -1,0 +1,3 @@
+module hotnoc
+
+go 1.24

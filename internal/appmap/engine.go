@@ -52,6 +52,12 @@ type Engine struct {
 	// (default 8 cycles).
 	PhaseOverhead int
 
+	// Decodes counts completed Decode calls — the unit of expensive NoC
+	// characterization work, which sweep tests and benchmarks use to
+	// verify that period and ablation variants reuse one characterization
+	// instead of re-simulating.
+	Decodes uint64
+
 	place []int // logical PE -> physical block index
 
 	// Static per-PE node ownership.
@@ -219,6 +225,7 @@ func (e *Engine) Decode(chLLR []ldpc.LLR) (BlockResult, error) {
 			decisions[v] = 1
 		}
 	}
+	e.Decodes++
 	return BlockResult{
 		Decisions:  decisions,
 		Cycles:     e.Net.Cycle - start,

@@ -41,6 +41,21 @@ type System struct {
 	// proportionally more energy — the reason rotation, with the most
 	// transfer phases, has the largest reconfiguration energy penalty.
 	IdleFrac float64
+
+	// thermEval caches the thermal LU factorisations across evaluations.
+	thermEval *thermal.Evaluator
+}
+
+// thermalEvaluator lazily creates the cached thermal evaluator.
+func (s *System) thermalEvaluator() (*thermal.Evaluator, error) {
+	if s.thermEval == nil {
+		ev, err := thermal.NewEvaluator(s.Therm)
+		if err != nil {
+			return nil, err
+		}
+		s.thermEval = ev
+	}
+	return s.thermEval, nil
 }
 
 // Validate reports wiring mistakes.
@@ -138,131 +153,25 @@ type RunResult struct {
 // thermal model to its quasi-steady cycle, which is compared against the
 // static placement's steady state.
 //
-// Traffic timing and event counts in the engine are data-independent
-// (fixed iterations, partition-determined batching), so one decoded block
-// per leg is measured and scaled to BlocksPerPeriod exactly.
+// Run is Characterize followed by Evaluate. Sweeps that vary only the
+// period or the energy ablation should call the stages directly and reuse
+// one characterization — the NoC simulation dominates and is identical
+// across those variants.
 func (s *System) Run(cfg RunConfig) (RunResult, error) {
-	if err := s.Validate(); err != nil {
-		return RunResult{}, err
-	}
-	if cfg.BlocksPerPeriod == 0 {
-		cfg.BlocksPerPeriod = 1
-	}
-	if cfg.BlocksPerPeriod < 1 {
+	// Fail fast on a bad period before paying for characterization; the
+	// stages own the rest of the validation.
+	if cfg.BlocksPerPeriod < 0 {
 		return RunResult{}, fmt.Errorf("core: BlocksPerPeriod %d < 1", cfg.BlocksPerPeriod)
 	}
-	if cfg.Scheme.StepFn == nil {
-		return RunResult{}, fmt.Errorf("core: no migration scheme configured")
-	}
-	g := s.Grid
-	net := s.Engine.Net
-	b := float64(cfg.BlocksPerPeriod)
-
-	var res RunResult
-
-	// ---- Static baseline -------------------------------------------------
-	if err := s.Engine.SetPlacement(s.InitialPlace); err != nil {
+	ch, err := s.Characterize(cfg.Scheme)
+	if err != nil {
 		return RunResult{}, err
 	}
-	net.ResetStats()
-	blk, err := s.Engine.Decode(s.BlockSource(0))
-	if err != nil {
-		return RunResult{}, fmt.Errorf("core: baseline decode: %w", err)
-	}
-	baseDur := float64(blk.Cycles) / s.ClockHz
-	basePower := net.Act.PowerMap(s.Energy, baseDur)
-	baseRes, err := thermal.RunCycle(s.Therm, []thermal.ScheduleEntry{{
-		Power: basePower, Duration: baseDur, Label: "static",
-	}}, withLeak(cfg.CycleOpts, s.Leak))
-	if err != nil {
-		return RunResult{}, fmt.Errorf("core: baseline thermal: %w", err)
-	}
-	res.BaselinePeakC, res.BaselinePeakAt = baseRes.PeakC, baseRes.PeakBlock
-	res.BaselineMeanC = baseRes.MeanC
-	res.BaselineMaxTemps = baseRes.MaxPerBlock
-
-	// ---- Migration legs --------------------------------------------------
-	orbit := cfg.Scheme.OrbitLen(g)
-	place := append([]int(nil), s.InitialPlace...)
-	entries := make([]thermal.ScheduleEntry, 0, orbit)
-	var totalDecode, totalMig int64
-
-	for leg := 0; leg < orbit; leg++ {
-		if err := s.Engine.SetPlacement(place); err != nil {
-			return RunResult{}, err
-		}
-		net.ResetStats()
-		blk, err := s.Engine.Decode(s.BlockSource(leg))
-		if err != nil {
-			return RunResult{}, fmt.Errorf("core: leg %d decode: %w", leg, err)
-		}
-		decodeAct := net.Act.Clone()
-		decodeEnergy := decodeAct.TotalEnergyJ(s.Energy)
-
-		step := cfg.Scheme.Step(leg, g)
-		perm := geom.FromTransform(g, step)
-		net.ResetStats()
-		mig, err := s.Migrator.Execute(perm)
-		if err != nil {
-			return RunResult{}, fmt.Errorf("core: leg %d migration: %w", leg, err)
-		}
-		migAct := net.Act.Clone()
-		migEnergy := migAct.TotalEnergyJ(s.Energy)
-
-		// Workload follows the plane: the PE at block p moves to perm(p).
-		next := make([]int, len(place))
-		for l, blkIdx := range place {
-			next[l] = perm.Dst(blkIdx)
-		}
-		place = next
-		s.IO.Advance(step)
-
-		// One thermal entry per leg: B blocks of decode plus the migration
-		// window, energy-folded into the leg's average power map. The
-		// migration window (hundreds of cycles) is far below the die
-		// thermal time constants, so folding loses nothing the RC model
-		// could resolve.
-		legDur := (b*float64(blk.Cycles) + float64(mig.Cycles)) / s.ClockHz
-		legPower := make([]float64, g.N())
-		for i := range legPower {
-			e := b * decodeAct.BlockEnergyJ(s.Energy, i)
-			if !cfg.ExcludeMigrationEnergy {
-				// State transfer plus the idle-clock power the halted PEs
-				// keep burning for the whole migration window.
-				e += migAct.BlockEnergyJ(s.Energy, i) +
-					s.IdleFrac*decodeAct.BlockEnergyJ(s.Energy, i)/float64(blk.Cycles)*float64(mig.Cycles)
-			}
-			legPower[i] = e / legDur
-		}
-		entries = append(entries, thermal.ScheduleEntry{
-			Power: legPower, Duration: legDur,
-			Label: fmt.Sprintf("leg %d (%s)", leg, step.Name),
-		})
-
-		migTotalEnergy := migEnergy +
-			s.IdleFrac*decodeEnergy/float64(blk.Cycles)*float64(mig.Cycles)
-		totalDecode += int64(b) * blk.Cycles
-		totalMig += mig.Cycles
-		res.Legs = append(res.Legs, LegReport{
-			DecodeCycles:     blk.Cycles,
-			Migration:        mig,
-			DecodeEnergyJ:    b * decodeEnergy,
-			MigrationEnergyJ: migTotalEnergy,
-		})
-		res.MigrationEnergyJ += migTotalEnergy
-	}
-
-	migRes, err := thermal.RunCycle(s.Therm, entries, withLeak(cfg.CycleOpts, s.Leak))
-	if err != nil {
-		return RunResult{}, fmt.Errorf("core: migrated thermal: %w", err)
-	}
-	res.MigratedPeakC, res.MigratedPeakAt = migRes.PeakC, migRes.PeakBlock
-	res.MigratedMeanC = migRes.MeanC
-	res.MigratedMaxTemps = migRes.MaxPerBlock
-	res.ReductionC = res.BaselinePeakC - res.MigratedPeakC
-	res.ThroughputPenalty = float64(totalMig) / float64(totalDecode+totalMig)
-	res.PeriodSec = float64(totalDecode+totalMig) / float64(orbit) / s.ClockHz
-	return res, nil
+	return s.Evaluate(ch, EvalConfig{
+		BlocksPerPeriod:        cfg.BlocksPerPeriod,
+		ExcludeMigrationEnergy: cfg.ExcludeMigrationEnergy,
+		CycleOpts:              cfg.CycleOpts,
+	})
 }
 
 func withLeak(opts thermal.CycleOptions, leak power.Leakage) thermal.CycleOptions {

@@ -157,10 +157,11 @@ func (s *System) RunReactive(cfg ReactiveConfig) (ReactiveResult, error) {
 	if err != nil {
 		return ReactiveResult{}, err
 	}
-	ss, err := thermal.NewSteadySolver(s.Therm)
+	ev, err := s.thermalEvaluator()
 	if err != nil {
 		return ReactiveResult{}, err
 	}
+	ss := ev.Steady()
 	state := ss.SolveFull(first.decodePower)
 	for it := 0; it < 50; it++ {
 		die := s.Therm.DieTemps(state)
@@ -176,7 +177,7 @@ func (s *System) RunReactive(cfg ReactiveConfig) (ReactiveResult, error) {
 		state = next
 	}
 
-	tr, err := thermal.NewTransient(s.Therm, cfg.Dt)
+	tr, err := ev.Transient(cfg.Dt)
 	if err != nil {
 		return ReactiveResult{}, err
 	}

@@ -1,0 +1,280 @@
+// Package sim is the sweep/orchestration layer over the raw simulator: it
+// executes an arbitrary configuration × scheme × period experiment grid
+// concurrently on a worker pool, building each chip configuration once,
+// characterizing each (configuration, scheme) orbit once, and evaluating
+// every period/ablation variant against that shared characterization.
+//
+// The paper's studies — Figure 1, the migration-period sweep, the
+// migration-energy ablation — are all instances of such grids, and the
+// experiments façade drives them through this runner. Results are
+// bitwise identical to a serial walk of the same grid: every stage of the
+// pipeline is deterministic, workers operate on independent System clones,
+// and outcomes are returned in point order regardless of completion order.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hotnoc/internal/chipcfg"
+	"hotnoc/internal/core"
+)
+
+// Point is one cell of an experiment grid.
+type Point struct {
+	// Config is the chip configuration letter (A-E).
+	Config string
+	// Scheme is the migration scheme. Schemes are identified by name when
+	// grouping work, so custom schemes must have unique names.
+	Scheme core.Scheme
+	// Blocks is the migration period in decoded blocks (0 = 1).
+	Blocks int
+	// ExcludeMigrationEnergy drops migration energy from the thermal
+	// schedule (the paper's §3 ablation).
+	ExcludeMigrationEnergy bool
+}
+
+// Outcome pairs a grid point with its evaluation. Outcomes of the same
+// configuration share one *chipcfg.Built.
+type Outcome struct {
+	Point  Point
+	Built  *chipcfg.Built
+	Result core.RunResult
+}
+
+// Options tunes a Runner.
+type Options struct {
+	// Scale divides the workload size (default 1 = paper scale).
+	Scale int
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// BuildCache builds each (configuration, scale) once and shares the result
+// across all workers and runs. Concurrent requests for the same key block
+// on a single build; different keys build in parallel.
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[buildKey]*buildEntry
+}
+
+type buildKey struct {
+	config string
+	scale  int
+}
+
+type buildEntry struct {
+	once  sync.Once
+	built *chipcfg.Built
+	err   error
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{entries: map[buildKey]*buildEntry{}}
+}
+
+// Get returns the calibrated build for (config, scale), constructing it on
+// first use.
+func (c *BuildCache) Get(config string, scale int) (*chipcfg.Built, error) {
+	key := buildKey{config: config, scale: scale}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &buildEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		spec, err := chipcfg.ByName(config)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.built, e.err = spec.Scaled(scale).Build()
+	})
+	return e.built, e.err
+}
+
+// Runner executes experiment grids. A Runner may be reused across Run
+// calls; its build cache persists, so repeated sweeps over the same
+// configurations skip construction entirely.
+type Runner struct {
+	opts   Options
+	builds *BuildCache
+}
+
+// NewRunner returns a runner with the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts.withDefaults(), builds: NewBuildCache()}
+}
+
+// task is the unit of worker scheduling: all grid points sharing one
+// (configuration, scheme), which therefore share one characterization.
+type task struct {
+	config string
+	scheme core.Scheme
+	// cells are the indices into the original point slice, in order.
+	cells []int
+}
+
+// Run evaluates every point of the grid and returns outcomes in point
+// order. Points sharing a configuration share one calibrated build; points
+// sharing (configuration, scheme) additionally share one NoC
+// characterization, so period and ablation variants cost only a thermal
+// evaluation each. Run stops at the first error or context cancellation.
+func (r *Runner) Run(ctx context.Context, pts []Point) ([]Outcome, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	tasks := groupPoints(pts)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]Outcome, len(pts))
+	taskCh := make(chan task)
+	errCh := make(chan error, 1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+			cancel()
+		default:
+		}
+	}
+
+	workers := r.opts.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := r.runTask(ctx, t, pts, out); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, t := range tasks {
+		select {
+		case taskCh <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runTask characterizes one (configuration, scheme) on a private System
+// clone and evaluates every period/ablation variant of the group.
+func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome) error {
+	built, err := r.builds.Get(t.config, r.opts.Scale)
+	if err != nil {
+		return fmt.Errorf("sim: config %s: %w", t.config, err)
+	}
+	// One System holds mutable engine, network and I/O state, so each task
+	// works on its own clone of the shared calibrated system.
+	sys, err := built.System.Clone()
+	if err != nil {
+		return fmt.Errorf("sim: config %s: clone: %w", t.config, err)
+	}
+	ch, err := sys.Characterize(t.scheme)
+	if err != nil {
+		return fmt.Errorf("sim: config %s scheme %s: %w", t.config, t.scheme.Name, err)
+	}
+	for _, idx := range t.cells {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p := pts[idx]
+		res, err := sys.Evaluate(ch, core.EvalConfig{
+			BlocksPerPeriod:        p.Blocks,
+			ExcludeMigrationEnergy: p.ExcludeMigrationEnergy,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: config %s scheme %s blocks %d: %w",
+				p.Config, p.Scheme.Name, p.Blocks, err)
+		}
+		out[idx] = Outcome{Point: p, Built: built, Result: res}
+	}
+	return nil
+}
+
+// groupPoints partitions the grid into (configuration, scheme) tasks,
+// ordered by their first appearance so scheduling is deterministic.
+func groupPoints(pts []Point) []task {
+	type gkey struct {
+		config, scheme string
+	}
+	order := map[gkey]int{}
+	var tasks []task
+	for i, p := range pts {
+		k := gkey{config: p.Config, scheme: p.Scheme.Name}
+		ti, ok := order[k]
+		if !ok {
+			ti = len(tasks)
+			order[k] = ti
+			tasks = append(tasks, task{config: p.Config, scheme: p.Scheme})
+		}
+		tasks[ti].cells = append(tasks[ti].cells, i)
+	}
+	// Largest groups first: with more tasks than workers this packs the
+	// pool better without affecting result order.
+	sort.SliceStable(tasks, func(i, j int) bool {
+		return len(tasks[i].cells) > len(tasks[j].cells)
+	})
+	return tasks
+}
+
+// Grid returns the cross product configs × schemes × blocks in
+// configuration-major, scheme-then-period-minor order — the natural
+// ordering of the paper's figures. A nil or empty blocks slice means the
+// one-block base period.
+func Grid(configs []string, schemes []core.Scheme, blocks []int) []Point {
+	if len(blocks) == 0 {
+		blocks = []int{1}
+	}
+	pts := make([]Point, 0, len(configs)*len(schemes)*len(blocks))
+	for _, c := range configs {
+		for _, s := range schemes {
+			for _, b := range blocks {
+				pts = append(pts, Point{Config: c, Scheme: s, Blocks: b})
+			}
+		}
+	}
+	return pts
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hotnoc/internal/chipcfg"
+	"hotnoc/internal/core"
+)
+
+// testScale keeps full-pipeline builds fast while preserving every code
+// path (same convention as the façade tests).
+const testScale = 8
+
+// TestRunMatchesSerialWalk: the concurrent runner's outcomes are bitwise
+// identical to a serial walk of the same grid on an independently built
+// system, and arrive in point order.
+func TestRunMatchesSerialWalk(t *testing.T) {
+	pts := Grid([]string{"A"}, []core.Scheme{core.XYShift(), core.Rot()}, []int{1, 4})
+	pts = append(pts, Point{
+		Config: "A", Scheme: core.Rot(), Blocks: 1, ExcludeMigrationEnergy: true,
+	})
+	outs, err := NewRunner(Options{Scale: testScale, Workers: 4}).
+		Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(pts) {
+		t.Fatalf("%d outcomes for %d points", len(outs), len(pts))
+	}
+
+	spec, err := chipcfg.ByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := spec.Scaled(testScale).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		got := outs[i].Point
+		if got.Config != p.Config || got.Scheme.Name != p.Scheme.Name ||
+			got.Blocks != p.Blocks || got.ExcludeMigrationEnergy != p.ExcludeMigrationEnergy {
+			t.Fatalf("outcome %d is for point %+v, want %+v", i, got, p)
+		}
+		serial, err := built.System.Run(core.RunConfig{
+			Scheme:                 p.Scheme,
+			BlocksPerPeriod:        p.Blocks,
+			ExcludeMigrationEnergy: p.ExcludeMigrationEnergy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, outs[i].Result) {
+			t.Errorf("point %d (%s/%s/b%d): parallel result differs from serial walk",
+				i, p.Config, p.Scheme.Name, p.Blocks)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts: the same grid gives identical
+// outcomes no matter how it is scheduled.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	pts := Grid([]string{"B"}, []core.Scheme{core.XMirrorScheme(), core.RightShift()}, []int{1, 2})
+	one, err := NewRunner(Options{Scale: testScale, Workers: 1}).
+		Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewRunner(Options{Scale: testScale, Workers: 8}).
+		Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if !reflect.DeepEqual(one[i].Result, many[i].Result) {
+			t.Errorf("point %d differs between 1-worker and 8-worker runs", i)
+		}
+	}
+}
+
+// TestRunSharesBuilds: outcomes of the same configuration share one
+// calibrated build.
+func TestRunSharesBuilds(t *testing.T) {
+	pts := Grid([]string{"C"}, []core.Scheme{core.XYShift(), core.XMirrorScheme()}, nil)
+	outs, err := NewRunner(Options{Scale: testScale}).Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Built == nil || outs[0].Built != outs[1].Built {
+		t.Error("outcomes of one configuration do not share a build")
+	}
+}
+
+// TestRunUnknownConfig: build errors surface with the offending cell.
+func TestRunUnknownConfig(t *testing.T) {
+	_, err := NewRunner(Options{Scale: testScale}).Run(context.Background(),
+		[]Point{{Config: "Z", Scheme: core.Rot()}})
+	if err == nil {
+		t.Fatal("unknown configuration accepted")
+	}
+}
+
+// TestRunCancelledContext: a cancelled context stops the sweep without
+// doing the work.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewRunner(Options{Scale: testScale}).Run(ctx,
+		Grid([]string{"A"}, core.AllSchemes(), nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunEmptyGrid: no points, no work, no error.
+func TestRunEmptyGrid(t *testing.T) {
+	outs, err := NewRunner(Options{}).Run(context.Background(), nil)
+	if err != nil || outs != nil {
+		t.Fatalf("empty grid gave (%v, %v)", outs, err)
+	}
+}
+
+// TestGridOrder: the cross product is configuration-major with schemes
+// then periods minor.
+func TestGridOrder(t *testing.T) {
+	pts := Grid([]string{"A", "B"}, []core.Scheme{core.Rot(), core.XYShift()}, []int{1, 4})
+	want := []struct {
+		cfg    string
+		scheme string
+		blocks int
+	}{
+		{"A", "Rot", 1}, {"A", "Rot", 4}, {"A", "X-Y Shift", 1}, {"A", "X-Y Shift", 4},
+		{"B", "Rot", 1}, {"B", "Rot", 4}, {"B", "X-Y Shift", 1}, {"B", "X-Y Shift", 4},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("%d points, want %d", len(pts), len(want))
+	}
+	for i, w := range want {
+		if pts[i].Config != w.cfg || pts[i].Scheme.Name != w.scheme || pts[i].Blocks != w.blocks {
+			t.Errorf("point %d is %s/%s/b%d, want %s/%s/b%d", i,
+				pts[i].Config, pts[i].Scheme.Name, pts[i].Blocks, w.cfg, w.scheme, w.blocks)
+		}
+	}
+}

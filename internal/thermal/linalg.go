@@ -62,12 +62,14 @@ func (m *Dense) MulVec(dst, x []float64) {
 }
 
 // LU holds an LU factorisation with partial pivoting (Doolittle form, L
-// unit-diagonal, stored in place).
+// unit-diagonal, stored in place). The scratch vector makes Solve
+// allocation-free, so an LU must not be shared between goroutines.
 type LU struct {
 	n    int
 	lu   []float64
 	piv  []int
 	sign int
+	x    []float64
 }
 
 // Factor computes the LU factorisation of m. It returns an error if the
@@ -75,7 +77,8 @@ type LU struct {
 // indicates a node with no path to ambient.
 func Factor(m *Dense) (*LU, error) {
 	n := m.N
-	f := &LU{n: n, lu: append([]float64(nil), m.A...), piv: make([]int, n), sign: 1}
+	f := &LU{n: n, lu: append([]float64(nil), m.A...), piv: make([]int, n), sign: 1,
+		x: make([]float64, n)}
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -119,7 +122,7 @@ func (f *LU) Solve(dst, b []float64) {
 	}
 	n := f.n
 	// Apply the pivot permutation.
-	x := make([]float64, n)
+	x := f.x
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}

@@ -31,6 +31,17 @@ type Transient struct {
 // NewTransient creates an integrator with step dt (seconds), starting from
 // a uniform ambient-temperature state.
 func NewTransient(nw *Network, dt float64) (*Transient, error) {
+	lu, err := factorStep(nw, dt)
+	if err != nil {
+		return nil, err
+	}
+	return newTransient(nw, dt, lu), nil
+}
+
+// factorStep factorises the backward-Euler iteration matrix C/dt + G for
+// step size dt. The factorisation depends only on (network, dt), so an
+// Evaluator caches it across any number of integrations.
+func factorStep(nw *Network, dt float64) (*LU, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive step %g", dt)
 	}
@@ -38,10 +49,12 @@ func NewTransient(nw *Network, dt float64) (*Transient, error) {
 	for i := 0; i < nw.NNodes; i++ {
 		m.Add(i, i, nw.C[i]/dt)
 	}
-	lu, err := Factor(m)
-	if err != nil {
-		return nil, err
-	}
+	return Factor(m)
+}
+
+// newTransient wires an integrator around a previously factorised
+// iteration matrix for the same (network, dt).
+func newTransient(nw *Network, dt float64, lu *LU) *Transient {
 	tr := &Transient{
 		nw:  nw,
 		dt:  dt,
@@ -51,7 +64,7 @@ func NewTransient(nw *Network, dt float64) (*Transient, error) {
 		pv:  make([]float64, nw.NNodes),
 	}
 	tr.Reset()
-	return tr, nil
+	return tr
 }
 
 // Reset returns the state to uniform ambient temperature at time zero.
@@ -165,7 +178,21 @@ func (o *CycleOptions) setDefaults() {
 // the start of consecutive repetitions converges (the quasi-steady thermal
 // cycle of a periodic migration), then records peak and mean statistics
 // over one further repetition.
+//
+// RunCycle factorises the thermal system on every call; evaluation loops
+// should hold an Evaluator instead, which caches the factorisations.
 func RunCycle(nw *Network, entries []ScheduleEntry, opts CycleOptions) (CycleResult, error) {
+	ev, err := NewEvaluator(nw)
+	if err != nil {
+		return CycleResult{}, err
+	}
+	return ev.RunCycle(entries, opts)
+}
+
+// runCycle is the shared implementation behind RunCycle and
+// Evaluator.RunCycle.
+func (ev *Evaluator) runCycle(entries []ScheduleEntry, opts CycleOptions) (CycleResult, error) {
+	nw := ev.nw
 	opts.setDefaults()
 	if len(entries) == 0 {
 		return CycleResult{}, fmt.Errorf("thermal: empty power schedule")
@@ -182,7 +209,7 @@ func RunCycle(nw *Network, entries []ScheduleEntry, opts CycleOptions) (CycleRes
 		cycleTime += e.Duration
 	}
 
-	tr, err := NewTransient(nw, opts.Dt)
+	tr, err := ev.Transient(opts.Dt)
 	if err != nil {
 		return CycleResult{}, err
 	}
@@ -200,10 +227,7 @@ func RunCycle(nw *Network, entries []ScheduleEntry, opts CycleOptions) (CycleRes
 			avg[i] += w * p
 		}
 	}
-	ss, err := NewSteadySolver(nw)
-	if err != nil {
-		return CycleResult{}, err
-	}
+	ss := ev.ss
 	withLeak := append([]float64(nil), avg...)
 	state := ss.SolveFull(withLeak)
 	if opts.Leak != nil {

@@ -1,0 +1,46 @@
+package hotnoc
+
+import (
+	"context"
+
+	"hotnoc/internal/sim"
+)
+
+// Re-exported sweep types, so downstream users need only this package.
+type (
+	// SweepPoint is one cell of an experiment grid: a configuration, a
+	// migration scheme, a period in blocks, and the energy ablation flag.
+	SweepPoint = sim.Point
+	// SweepOutcome pairs a grid point with its calibrated build and run
+	// result.
+	SweepOutcome = sim.Outcome
+	// SweepOptions sets the workload scale and worker-pool size.
+	SweepOptions = sim.Options
+	// SweepRunner executes grids with a persistent build cache.
+	SweepRunner = sim.Runner
+)
+
+// Sweep evaluates an arbitrary configuration × scheme × period grid
+// concurrently and returns outcomes in point order. Each configuration is
+// built and calibrated once, each (configuration, scheme) orbit is
+// characterized on the cycle-accurate NoC once, and every period/ablation
+// variant reuses that characterization for a cheap thermal evaluation.
+// Results are bitwise identical to a serial walk of the same grid. The
+// context cancels in-flight work between cells.
+//
+//	pts := hotnoc.SweepGrid([]string{"A", "E"}, hotnoc.Schemes(), []int{1, 4, 8})
+//	outs, err := hotnoc.Sweep(ctx, pts, hotnoc.SweepOptions{Scale: 8})
+func Sweep(ctx context.Context, pts []SweepPoint, opts SweepOptions) ([]SweepOutcome, error) {
+	return sim.NewRunner(opts).Run(ctx, pts)
+}
+
+// SweepGrid builds the cross product configs × schemes × blocks in
+// configuration-major order. Nil blocks means the one-block base period.
+func SweepGrid(configs []string, schemes []Scheme, blocks []int) []SweepPoint {
+	return sim.Grid(configs, schemes, blocks)
+}
+
+// NewSweepRunner returns a reusable runner whose build cache persists
+// across Run calls — useful for interactive tools that sweep repeatedly
+// over the same configurations.
+func NewSweepRunner(opts SweepOptions) *SweepRunner { return sim.NewRunner(opts) }
