@@ -19,7 +19,23 @@
 //     I/O address translation, runtime manager
 //   - internal/chipcfg    the paper's test-chip configurations A-E
 //
-// Typical use:
+// Typical use — a Lab is the session handle that owns the build cache and
+// the cross-run characterization cache, and streams sweep results:
+//
+//	lab := hotnoc.NewLab(hotnoc.WithScale(8), hotnoc.WithCacheDir(".hotnoc-cache"))
+//	pts := hotnoc.SweepGrid([]string{"A", "E"}, hotnoc.Schemes(), []int{1, 4, 8})
+//	for out, err := range lab.Sweep(ctx, pts) {
+//		if err != nil {
+//			log.Fatal(err)
+//		}
+//		fmt.Printf("%s/%s: %.2f°C reduction\n",
+//			out.Point.Config, out.Point.Scheme.Name, out.Result.ReductionC)
+//	}
+//
+// Re-running the sweep — in the same process or in a fresh one pointed at
+// the same cache directory — skips the cycle-accurate NoC stage entirely
+// and reproduces the results bit for bit. One-shot evaluations can still
+// go through the raw System:
 //
 //	built, _ := hotnoc.BuildConfig("A", 1)
 //	res, _ := built.System.Run(hotnoc.RunConfig{Scheme: hotnoc.XYShift()})
@@ -52,6 +68,11 @@ type (
 	ReactiveConfig = core.ReactiveConfig
 	// ReactiveResult summarises a reactive run.
 	ReactiveResult = core.ReactiveResult
+	// Characterization is the deterministic outcome of simulating one
+	// scheme's full orbit on the cycle-accurate NoC; it feeds any number
+	// of periodic (System.Evaluate) or reactive (System.EvaluateReactive)
+	// evaluations, and is what Lab caches across runs.
+	Characterization = core.Characterization
 )
 
 // The paper's five migration schemes.

@@ -148,6 +148,36 @@ func BenchmarkSweepFigure1(b *testing.B) {
 	b.ReportMetric(mean, "°C-xyshift-mean")
 }
 
+// BenchmarkLabSweepWarm measures the Figure 1 grid served entirely from a
+// Lab's cross-run characterization cache: after one cold pass, every
+// iteration pays only the thermal evaluations. The decodes/sweep metric
+// must be 0 — the cache's whole point.
+func BenchmarkLabSweepWarm(b *testing.B) {
+	lab := NewLab(WithScale(1))
+	pts := SweepGrid([]string{"A", "B", "C", "D", "E"}, Schemes(), nil)
+	if _, err := lab.SweepAll(context.Background(), pts); err != nil {
+		b.Fatal(err)
+	}
+	start := lab.Decodes()
+	b.ResetTimer()
+	var outs []SweepOutcome
+	for i := 0; i < b.N; i++ {
+		o, err := lab.SweepAll(context.Background(), pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs = o
+	}
+	b.ReportMetric(float64(lab.Decodes()-start)/float64(b.N), "decodes/sweep")
+	mean := 0.0
+	for _, o := range outs {
+		if o.Point.Scheme.Name == "X-Y Shift" {
+			mean += o.Result.ReductionC / 5
+		}
+	}
+	b.ReportMetric(mean, "°C-xyshift-mean")
+}
+
 // BenchmarkMigrationEnergy regenerates the §3 rotation-energy observation
 // on configuration E: migration energy raises the average chip temperature
 // (paper: +0.3 °C) and pushes rotation's peak reduction negative.

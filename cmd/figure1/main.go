@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	figure1 [-scale N] [-configs A,B,C,D,E] [-workers N] [-csv] [-bars]
+//	figure1 [-scale N] [-configs A,B,C,D,E] [-workers N] [-cache-dir DIR]
+//	        [-csv] [-json] [-bars] [-progress]
 //
 // -scale divides the workload size (1 = full paper scale, slower; 8 is a
-// quick smoke run). -workers bounds the sweep engine's worker pool
-// (0 = one per core); the 25-cell grid runs concurrently and Ctrl-C
-// cancels cleanly. -csv emits machine-readable output; -bars renders the
-// figure as text bar charts per configuration.
+// quick smoke run). -workers bounds the lab's worker pool (0 = one per
+// core); the 25-cell grid runs concurrently and Ctrl-C cancels cleanly.
+// -cache-dir persists NoC characterizations, so re-running the figure —
+// or any other tool pointed at the same directory — skips the
+// cycle-accurate stage and reproduces the numbers bit for bit. -csv and
+// -json emit machine-readable output; -bars renders the figure as text
+// bar charts per configuration; -progress logs pipeline events to stderr.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,21 +34,50 @@ func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	configs := flag.String("configs", "A,B,C,D,E", "comma-separated configuration letters")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
 	bars := flag.Bool("bars", false, "also render per-configuration bar charts")
+	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")
 	flag.Parse()
+
+	if *asJSON && *asCSV {
+		fmt.Fprintln(os.Stderr, "figure1: -json and -csv are mutually exclusive")
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	opts := []hotnoc.LabOption{
+		hotnoc.WithScale(*scale),
+		hotnoc.WithWorkers(*workers),
+		hotnoc.WithCacheDir(*cacheDir),
+	}
+	if *progress {
+		opts = append(opts, hotnoc.WithProgress(func(ev hotnoc.Event) {
+			fmt.Fprintln(os.Stderr, "figure1:", ev)
+		}))
+	}
+	lab := hotnoc.NewLab(opts...)
+
 	names := strings.Split(*configs, ",")
-	res, err := hotnoc.RunFigure1Ctx(ctx, *scale, names, *workers)
+	res, err := lab.Figure1(ctx, names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figure1:", err)
 		os.Exit(1)
 	}
 
-	if *asCSV {
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "figure1:", err)
+			os.Exit(1)
+		}
+		return
+	case *asCSV:
 		tb := report.NewTable("config", "base_peak_c", "scheme", "reduction_c",
 			"migrated_peak_c", "throughput_penalty")
 		for _, row := range res.Rows {

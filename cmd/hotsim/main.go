@@ -5,9 +5,11 @@
 // Usage:
 //
 //	hotsim [-config A] [-scheme rot] [-blocks 1] [-scale N] [-nomigenergy]
+//	       [-cache-dir DIR]
 //
-// The evaluation runs through the sweep engine, so Ctrl-C cancels cleanly
-// between pipeline stages.
+// The evaluation runs through the lab, so Ctrl-C cancels cleanly between
+// pipeline stages and -cache-dir reuses NoC characterizations left by any
+// other tool on the same directory.
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	blocks := flag.Int("blocks", 1, "migration period in LDPC blocks")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	noMigEnergy := flag.Bool("nomigenergy", false, "exclude migration energy (ablation)")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -37,12 +40,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hotsim:", err)
 		os.Exit(1)
 	}
-	outs, err := hotnoc.Sweep(ctx, []hotnoc.SweepPoint{{
+	lab := hotnoc.NewLab(hotnoc.WithScale(*scale), hotnoc.WithCacheDir(*cacheDir))
+	outs, err := lab.SweepAll(ctx, []hotnoc.SweepPoint{{
 		Config:                 *config,
 		Scheme:                 scheme,
 		Blocks:                 *blocks,
 		ExcludeMigrationEnergy: *noMigEnergy,
-	}}, hotnoc.SweepOptions{Scale: *scale})
+	}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotsim:", err)
 		os.Exit(1)

@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	migenergy [-config E] [-scale N] [-workers N]
+//	migenergy [-config E] [-scale N] [-workers N] [-cache-dir DIR] [-progress]
 //
-// The schemes run concurrently on the sweep engine, and each scheme's
-// with/without pair shares one NoC characterization.
+// The schemes run concurrently on the lab, each scheme's with/without pair
+// shares one NoC characterization, and -cache-dir reuses characterizations
+// across processes.
 package main
 
 import (
@@ -28,12 +29,26 @@ func main() {
 	config := flag.String("config", "E", "configuration letter (A-E)")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	studies, err := hotnoc.RunMigrationEnergyCtx(ctx, *config, *scale, *workers)
+	opts := []hotnoc.LabOption{
+		hotnoc.WithScale(*scale),
+		hotnoc.WithWorkers(*workers),
+		hotnoc.WithCacheDir(*cacheDir),
+	}
+	if *progress {
+		opts = append(opts, hotnoc.WithProgress(func(ev hotnoc.Event) {
+			fmt.Fprintln(os.Stderr, "migenergy:", ev)
+		}))
+	}
+	lab := hotnoc.NewLab(opts...)
+
+	studies, err := lab.MigrationEnergy(ctx, *config)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migenergy:", err)
 		os.Exit(1)

@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	periodsweep [-config A] [-scheme "x-y shift"] [-blocks 1,4,8] [-scale N] [-workers N]
+//	periodsweep [-config A] [-scheme "x-y shift"] [-blocks 1,4,8] [-scale N]
+//	            [-workers N] [-cache-dir DIR] [-json] [-progress]
 //
-// All periods share one NoC characterization on the sweep engine — only
-// the cheap thermal evaluation runs per period.
+// All periods share one NoC characterization — only the cheap thermal
+// evaluation runs per period — and with -cache-dir that characterization
+// persists across processes, so a repeated sweep (or one after a figure1
+// run on the same cache) skips the cycle-accurate stage entirely.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +34,9 @@ func main() {
 	blocksArg := flag.String("blocks", "1,4,8", "comma-separated periods in blocks")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
+	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -50,10 +57,36 @@ func main() {
 		blocks = append(blocks, n)
 	}
 
-	pts, err := hotnoc.RunPeriodSweepCtx(ctx, *config, scheme, blocks, *scale, *workers)
+	opts := []hotnoc.LabOption{
+		hotnoc.WithScale(*scale),
+		hotnoc.WithWorkers(*workers),
+		hotnoc.WithCacheDir(*cacheDir),
+	}
+	if *progress {
+		opts = append(opts, hotnoc.WithProgress(func(ev hotnoc.Event) {
+			fmt.Fprintln(os.Stderr, "periodsweep:", ev)
+		}))
+	}
+	lab := hotnoc.NewLab(opts...)
+
+	pts, err := lab.PeriodSweep(ctx, *config, scheme, blocks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "periodsweep:", err)
 		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Config string
+			Scheme string
+			Points []hotnoc.PeriodPoint
+		}{Config: *config, Scheme: scheme.Name, Points: pts}); err != nil {
+			fmt.Fprintln(os.Stderr, "periodsweep:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("Migration-period study — configuration %s, scheme %s\n\n", *config, scheme.Name)

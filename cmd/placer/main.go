@@ -6,6 +6,10 @@
 // Usage:
 //
 //	placer [-config A] [-scale N]
+//
+// The build comes from a lab session, so repeated invocations inside one
+// process (or library callers holding the same Lab) share the calibrated
+// build cache.
 package main
 
 import (
@@ -24,7 +28,8 @@ func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	flag.Parse()
 
-	built, err := hotnoc.BuildConfig(*config, *scale)
+	lab := hotnoc.NewLab(hotnoc.WithScale(*scale))
+	built, err := lab.Build(*config)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "placer:", err)
 		os.Exit(1)

@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	thermalmap [-config E] [-scheme "x-y shift"] [-scale N]
+//	thermalmap [-config E] [-scheme "x-y shift"] [-scale N] [-cache-dir DIR]
+//
+// The evaluation runs through the lab, so a -cache-dir shared with the
+// other tools serves the NoC characterization from disk.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"hotnoc"
 	"hotnoc/internal/report"
@@ -21,25 +26,26 @@ func main() {
 	config := flag.String("config", "E", "configuration letter (A-E)")
 	schemeName := flag.String("scheme", "x-y shift", "migration scheme")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	scheme, err := hotnoc.SchemeByName(*schemeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermalmap:", err)
 		os.Exit(1)
 	}
-	built, err := hotnoc.BuildConfig(*config, *scale)
+	lab := hotnoc.NewLab(hotnoc.WithScale(*scale), hotnoc.WithCacheDir(*cacheDir))
+	outs, err := lab.SweepAll(ctx, []hotnoc.SweepPoint{{Config: *config, Scheme: scheme}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermalmap:", err)
 		os.Exit(1)
 	}
-	res, err := built.System.Run(hotnoc.RunConfig{Scheme: scheme})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "thermalmap:", err)
-		os.Exit(1)
-	}
+	res := outs[0].Result
 
-	g := built.System.Grid
+	g := outs[0].Built.System.Grid
 	fmt.Printf("configuration %s under %s (period %.1f µs)\n\n", *config, scheme.Name, res.PeriodSec*1e6)
 	fmt.Printf("static baseline — peak %.2f °C:\n", res.BaselinePeakC)
 	fmt.Print(report.HeatMap(g.W, g.H, res.BaselineMaxTemps, "°C"))

@@ -32,50 +32,30 @@ type Figure1Row struct {
 // averages.
 type Figure1Result struct {
 	Rows []Figure1Row
-	// MeanReductionC maps scheme name to its average reduction across all
-	// configurations (paper: X-Y shift 4.62 °C, rotation 4.15 °C).
+	// MeanReductionC maps scheme name to its average reduction across the
+	// distinct requested configurations (paper: X-Y shift 4.62 °C,
+	// rotation 4.15 °C). Duplicate configuration names count once, so a
+	// repeated entry cannot skew the average.
 	MeanReductionC map[string]float64
 }
 
 // RunFigure1 regenerates Figure 1: every migration scheme on every circuit
 // configuration, at the base one-block migration period. scale divides the
 // workload size (1 = paper scale); configs limits the set (nil = A-E).
-// The grid runs on the concurrent sweep engine, one worker per core.
+//
+// Deprecated: use Lab.Figure1, which shares the session's build and
+// characterization caches across calls.
 func RunFigure1(scale int, configs []string) (*Figure1Result, error) {
 	return RunFigure1Ctx(context.Background(), scale, configs, 0)
 }
 
 // RunFigure1Ctx is RunFigure1 with context cancellation and an explicit
 // worker count (0 = GOMAXPROCS).
+//
+// Deprecated: use Lab.Figure1, which shares the session's build and
+// characterization caches across calls.
 func RunFigure1Ctx(ctx context.Context, scale int, configs []string, workers int) (*Figure1Result, error) {
-	if configs == nil {
-		configs = []string{"A", "B", "C", "D", "E"}
-	}
-	pts := SweepGrid(configs, Schemes(), nil)
-	outs, err := Sweep(ctx, pts, SweepOptions{Scale: scale, Workers: workers})
-	if err != nil {
-		return nil, err
-	}
-	// Outcomes arrive in point order: configuration-major, scheme-minor,
-	// one row of len(Schemes()) cells per requested configuration (repeats
-	// included).
-	out := &Figure1Result{MeanReductionC: map[string]float64{}}
-	nSchemes := len(Schemes())
-	for ri, name := range configs {
-		rowOuts := outs[ri*nSchemes : (ri+1)*nSchemes]
-		row := Figure1Row{Config: name, BasePeakC: rowOuts[0].Built.StaticPeakC}
-		for _, o := range rowOuts {
-			row.Cells = append(row.Cells, Figure1Cell{
-				Scheme:            o.Point.Scheme.Name,
-				ReductionC:        o.Result.ReductionC,
-				MigratedPeakC:     o.Result.MigratedPeakC,
-				ThroughputPenalty: o.Result.ThroughputPenalty,
-			})
-			out.MeanReductionC[o.Point.Scheme.Name] += o.Result.ReductionC / float64(len(configs))
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+	return NewLab(WithScale(scale), WithWorkers(workers)).Figure1(ctx, configs)
 }
 
 // Table renders the figure as an aligned text table (configurations as
@@ -117,37 +97,21 @@ type PeriodPoint struct {
 }
 
 // RunPeriodSweep regenerates the migration-period trade-off on one
-// configuration with one scheme: longer periods cut the throughput penalty
-// while the peak temperature rises only marginally. All periods share one
-// NoC characterization; only the thermal evaluation runs per period.
+// configuration with one scheme.
+//
+// Deprecated: use Lab.PeriodSweep, which shares the session's build and
+// characterization caches across calls.
 func RunPeriodSweep(config string, scheme Scheme, blocks []int, scale int) ([]PeriodPoint, error) {
 	return RunPeriodSweepCtx(context.Background(), config, scheme, blocks, scale, 0)
 }
 
 // RunPeriodSweepCtx is RunPeriodSweep with context cancellation and an
 // explicit worker count (0 = GOMAXPROCS).
+//
+// Deprecated: use Lab.PeriodSweep, which shares the session's build and
+// characterization caches across calls.
 func RunPeriodSweepCtx(ctx context.Context, config string, scheme Scheme, blocks []int, scale, workers int) ([]PeriodPoint, error) {
-	if len(blocks) == 0 {
-		blocks = []int{1, 4, 8}
-	}
-	pts := SweepGrid([]string{config}, []Scheme{scheme}, blocks)
-	outs, err := Sweep(ctx, pts, SweepOptions{Scale: scale, Workers: workers})
-	if err != nil {
-		return nil, err
-	}
-	var out []PeriodPoint
-	for _, o := range outs {
-		out = append(out, PeriodPoint{
-			Blocks:            o.Point.Blocks,
-			PeriodSec:         o.Result.PeriodSec,
-			ThroughputPenalty: o.Result.ThroughputPenalty,
-			PeakC:             o.Result.MigratedPeakC,
-		})
-	}
-	for i := range out {
-		out[i].PeakRiseC = out[i].PeakC - out[0].PeakC
-	}
-	return out, nil
+	return NewLab(WithScale(scale), WithWorkers(workers)).PeriodSweep(ctx, config, scheme, blocks)
 }
 
 // EnergyStudy quantifies one scheme's reconfiguration energy penalty by
@@ -168,45 +132,21 @@ type EnergyStudy struct {
 }
 
 // RunMigrationEnergy regenerates the migration-energy ablation for every
-// scheme on one configuration (the paper highlights rotation on E). The
-// with/without pair of each scheme shares one NoC characterization.
+// scheme on one configuration (the paper highlights rotation on E).
+//
+// Deprecated: use Lab.MigrationEnergy, which shares the session's build
+// and characterization caches across calls.
 func RunMigrationEnergy(config string, scale int) ([]EnergyStudy, error) {
 	return RunMigrationEnergyCtx(context.Background(), config, scale, 0)
 }
 
 // RunMigrationEnergyCtx is RunMigrationEnergy with context cancellation
 // and an explicit worker count (0 = GOMAXPROCS).
+//
+// Deprecated: use Lab.MigrationEnergy, which shares the session's build
+// and characterization caches across calls.
 func RunMigrationEnergyCtx(ctx context.Context, config string, scale, workers int) ([]EnergyStudy, error) {
-	var pts []SweepPoint
-	for _, s := range Schemes() {
-		pts = append(pts,
-			SweepPoint{Config: config, Scheme: s},
-			SweepPoint{Config: config, Scheme: s, ExcludeMigrationEnergy: true})
-	}
-	outs, err := Sweep(ctx, pts, SweepOptions{Scale: scale, Workers: workers})
-	if err != nil {
-		return nil, err
-	}
-	var out []EnergyStudy
-	for i := 0; i < len(outs); i += 2 {
-		with, without := outs[i].Result, outs[i+1].Result
-		var cycles int64
-		for _, leg := range with.Legs {
-			cycles += leg.Migration.Cycles
-		}
-		cycles /= int64(len(with.Legs))
-		out = append(out, EnergyStudy{
-			Scheme:            outs[i].Point.Scheme.Name,
-			MeanWithC:         with.MigratedMeanC,
-			MeanWithoutC:      without.MigratedMeanC,
-			DeltaMeanC:        with.MigratedMeanC - without.MigratedMeanC,
-			ReductionWithC:    with.ReductionC,
-			ReductionWithoutC: without.ReductionC,
-			MigrationEnergyJ:  with.MigrationEnergyJ,
-			MigrationCycles:   cycles,
-		})
-	}
-	return out, nil
+	return NewLab(WithScale(scale), WithWorkers(workers)).MigrationEnergy(ctx, config)
 }
 
 // Table1 returns the paper's Table 1 as printable rows, alongside the live

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"hotnoc/internal/geom"
 	"hotnoc/internal/thermal"
 )
 
@@ -70,9 +69,8 @@ type ReactiveResult struct {
 	BlockPeaks []float64
 }
 
-// legMeasurement caches the cycle-accurate measurement of one orbit
-// position, so the reactive loop re-simulates neither decoding nor
-// migration for placements it has already profiled.
+// legMeasurement is one orbit position's power-map view of a
+// characterization leg, the unit the reactive controller schedules.
 type legMeasurement struct {
 	decodeCycles int64
 	decodePower  []float64
@@ -80,10 +78,11 @@ type legMeasurement struct {
 	migPower     []float64
 }
 
-// RunReactive evaluates the threshold policy. The thermal state is
-// integrated transiently from the static placement's warm steady state;
-// at every block boundary the quantized sensor peak decides whether the
-// next scheme step executes.
+// RunReactive evaluates the threshold policy. It is Characterize followed
+// by EvaluateReactive: reactive parameter sweeps (trigger thresholds,
+// sensor quantisation, horizons) should call the stages directly and
+// reuse one characterization, exactly as periodic period/ablation sweeps
+// do.
 func (s *System) RunReactive(cfg ReactiveConfig) (ReactiveResult, error) {
 	if err := s.Validate(); err != nil {
 		return ReactiveResult{}, err
@@ -91,63 +90,71 @@ func (s *System) RunReactive(cfg ReactiveConfig) (ReactiveResult, error) {
 	if cfg.Scheme.StepFn == nil {
 		return ReactiveResult{}, fmt.Errorf("core: no migration scheme configured")
 	}
+	ch, err := s.Characterize(cfg.Scheme)
+	if err != nil {
+		return ReactiveResult{}, err
+	}
+	return s.EvaluateReactive(ch, cfg)
+}
+
+// EvaluateReactive runs the threshold policy against an existing
+// characterization: the thermal state is integrated transiently from the
+// static placement's warm steady state, and at every block boundary the
+// quantized sensor peak decides whether the next orbit step executes. No
+// NoC simulation happens here — the orbit's per-leg activity comes from
+// ch, so many reactive evaluations (different triggers, quantisations,
+// horizons) amortise one Characterize. Results are bitwise identical to
+// the fused RunReactive.
+func (s *System) EvaluateReactive(ch *Characterization, cfg ReactiveConfig) (ReactiveResult, error) {
+	if err := s.Validate(); err != nil {
+		return ReactiveResult{}, err
+	}
+	if ch == nil || len(ch.Legs) == 0 {
+		return ReactiveResult{}, fmt.Errorf("core: empty characterization")
+	}
+	if cfg.Scheme.StepFn == nil {
+		return ReactiveResult{}, fmt.Errorf("core: no migration scheme configured")
+	}
+	if cfg.Scheme.Name != ch.Scheme.Name {
+		return ReactiveResult{}, fmt.Errorf("core: reactive config selects scheme %q but characterization is for %q",
+			cfg.Scheme.Name, ch.Scheme.Name)
+	}
 	cfg.setDefaults()
 	g := s.Grid
-	net := s.Engine.Net
-	orbit := cfg.Scheme.OrbitLen(g)
+	orbit := len(ch.Legs)
 	leak := s.Leak.Func()
 
-	// Profile orbit position k lazily: decode one block and execute the
-	// k-th migration on the cycle-accurate network, converting activity
-	// into power maps (including idle-clock power during the migration).
-	cache := make(map[int]*legMeasurement)
-	place := append([]int(nil), s.InitialPlace...)
-	placeAt := map[int][]int{0: append([]int(nil), place...)}
+	// Convert each characterized leg into the controller's power-map view:
+	// average decode power over the decode window, and migration power over
+	// the migration window plus the idle-clock power the halted PEs keep
+	// burning. The arithmetic mirrors Activity.PowerMap so the result is
+	// bit-identical to measuring the leg live.
+	legs := make([]*legMeasurement, orbit)
 	measure := func(k int) (*legMeasurement, error) {
-		if m, ok := cache[k]; ok {
+		if m := legs[k]; m != nil {
 			return m, nil
 		}
-		pl, ok := placeAt[k]
-		if !ok {
-			return nil, fmt.Errorf("core: internal error: placement for leg %d not derived", k)
+		la := ch.Legs[k]
+		decodeDur := float64(la.DecodeCycles) / s.ClockHz
+		decodePower := make([]float64, g.N())
+		for i, e := range la.DecodeBlockJ {
+			decodePower[i] = e / decodeDur
 		}
-		if err := s.Engine.SetPlacement(pl); err != nil {
-			return nil, err
+		migDur := float64(la.Migration.Cycles) / s.ClockHz
+		migPower := make([]float64, g.N())
+		for i, e := range la.MigBlockJ {
+			migPower[i] = e / migDur
 		}
-		net.ResetStats()
-		blk, err := s.Engine.Decode(s.BlockSource(k))
-		if err != nil {
-			return nil, err
-		}
-		decodeDur := float64(blk.Cycles) / s.ClockHz
-		decodePower := net.Act.PowerMap(s.Energy, decodeDur)
-
-		step := cfg.Scheme.Step(k, g)
-		perm := geom.FromTransform(g, step)
-		net.ResetStats()
-		mig, err := s.Migrator.Execute(perm)
-		if err != nil {
-			return nil, err
-		}
-		migDur := float64(mig.Cycles) / s.ClockHz
-		migPower := net.Act.PowerMap(s.Energy, migDur)
 		for i := range migPower {
 			migPower[i] += s.IdleFrac * decodePower[i]
 		}
-
-		next := make([]int, len(pl))
-		for l, b := range pl {
-			next[l] = perm.Dst(b)
-		}
-		placeAt[(k+1)%orbit] = next
-
 		m := &legMeasurement{
-			decodeCycles: blk.Cycles,
+			decodeCycles: la.DecodeCycles,
 			decodePower:  decodePower,
-			migCycles:    mig.Cycles,
+			migCycles:    la.Migration.Cycles,
 			migPower:     migPower,
 		}
-		cache[k] = m
+		legs[k] = m
 		return m, nil
 	}
 

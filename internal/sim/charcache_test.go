@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"encoding/gob"
+	"os"
+	"reflect"
+	"testing"
+
+	"hotnoc/internal/core"
+	"hotnoc/internal/geom"
+)
+
+// fakeChar builds a small, fully populated characterization payload.
+func fakeChar(n int) *core.CharData {
+	blockJ := func(seed float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = seed + float64(i)*0.125
+		}
+		return out
+	}
+	return &core.CharData{
+		SchemeName:     "Rot",
+		BaselineCycles: 1000,
+		BaselineBlockJ: blockJ(1.5),
+		Legs: []core.LegActivity{
+			{
+				Step:         geom.Rotation(3),
+				DecodeCycles: 990,
+				DecodeBlockJ: blockJ(2.25),
+				DecodeJ:      7.5,
+				Migration:    core.MigrationStats{Cycles: 120, Phases: 3, Transfers: 8, StateFlitsMoved: 64},
+				MigBlockJ:    blockJ(0.5),
+				MigJ:         1.25,
+			},
+		},
+	}
+}
+
+// TestCharCacheRoundTrip: an entry written to disk is restored bit for bit
+// by a fresh cache over the same directory, without invoking compute.
+func TestCharCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := CharKey{Config: "A", Scheme: "Rot", Scale: 8}
+	const n = 9
+	want := fakeChar(n)
+
+	c1 := NewCharCache(dir)
+	got, hit, err := c1.Get(key, n, func() (*core.CharData, error) { return want, nil })
+	if err != nil || hit {
+		t.Fatalf("first Get = (hit %v, err %v), want computed", hit, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("first Get returned different data")
+	}
+
+	c2 := NewCharCache(dir)
+	got2, hit2, err := c2.Get(key, n, func() (*core.CharData, error) {
+		t.Fatal("fresh cache recomputed a persisted entry")
+		return nil, nil
+	})
+	if err != nil || !hit2 {
+		t.Fatalf("restored Get = (hit %v, err %v), want disk hit", hit2, err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("disk round trip altered the characterization")
+	}
+}
+
+// TestCharCacheMemoryHit: the second in-process Get for a key is a hit and
+// does not recompute.
+func TestCharCacheMemoryHit(t *testing.T) {
+	c := NewCharCache("") // memory-only
+	key := CharKey{Config: "B", Scheme: "X-Y Shift", Scale: 1}
+	computes := 0
+	get := func() (*core.CharData, bool, error) {
+		return c.Get(key, 4, func() (*core.CharData, error) {
+			computes++
+			return fakeChar(4), nil
+		})
+	}
+	if _, hit, err := get(); hit || err != nil {
+		t.Fatalf("cold Get = (hit %v, err %v)", hit, err)
+	}
+	if _, hit, err := get(); !hit || err != nil {
+		t.Fatalf("warm Get = (hit %v, err %v)", hit, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+}
+
+// TestCharCacheIgnoresCorruptEntry: garbage bytes on disk mean "recompute
+// and overwrite", never an error.
+func TestCharCacheIgnoresCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	key := CharKey{Config: "C", Scheme: "Rot", Scale: 8}
+	const n = 4
+	c := NewCharCache(dir)
+	if err := os.WriteFile(c.path(key), []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := fakeChar(n)
+	got, hit, err := c.Get(key, n, func() (*core.CharData, error) { return want, nil })
+	if err != nil {
+		t.Fatalf("corrupt entry became fatal: %v", err)
+	}
+	if hit {
+		t.Fatal("corrupt entry served as a cache hit")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("corrupt entry corrupted the recomputed result")
+	}
+	// The overwrite must leave a valid entry behind.
+	if _, hit, err := NewCharCache(dir).Get(key, n, func() (*core.CharData, error) {
+		t.Fatal("overwritten entry not readable")
+		return nil, nil
+	}); err != nil || !hit {
+		t.Fatalf("after overwrite: (hit %v, err %v)", hit, err)
+	}
+}
+
+// TestCharCacheIgnoresStaleEntries: entries with the wrong format version,
+// key or grid size are treated as absent.
+func TestCharCacheIgnoresStaleEntries(t *testing.T) {
+	const n = 4
+	key := CharKey{Config: "D", Scheme: "Rot", Scale: 8}
+	cases := []struct {
+		name string
+		env  diskChar
+	}{
+		{"version", diskChar{Version: charFormatVersion + 1, Key: key, GridN: n, Data: *fakeChar(n)}},
+		{"key", diskChar{Version: charFormatVersion, Key: CharKey{Config: "E", Scheme: "Rot", Scale: 8}, GridN: n, Data: *fakeChar(n)}},
+		{"gridn", diskChar{Version: charFormatVersion, Key: key, GridN: n + 1, Data: *fakeChar(n)}},
+		{"payload", diskChar{Version: charFormatVersion, Key: key, GridN: n, Data: core.CharData{SchemeName: "Rot"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCharCache(t.TempDir())
+			f, err := os.Create(c.path(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := gob.NewEncoder(f).Encode(tc.env); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			computed := false
+			_, hit, err := c.Get(key, n, func() (*core.CharData, error) {
+				computed = true
+				return fakeChar(n), nil
+			})
+			if err != nil || hit || !computed {
+				t.Fatalf("stale %s entry: (hit %v, computed %v, err %v), want recompute",
+					tc.name, hit, computed, err)
+			}
+		})
+	}
+}

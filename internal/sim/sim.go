@@ -1,23 +1,27 @@
 // Package sim is the sweep/orchestration layer over the raw simulator: it
 // executes an arbitrary configuration × scheme × period experiment grid
 // concurrently on a worker pool, building each chip configuration once,
-// characterizing each (configuration, scheme) orbit once, and evaluating
-// every period/ablation variant against that shared characterization.
+// characterizing each (configuration, scheme) orbit once — with a
+// cross-run characterization cache that can persist to disk — and
+// evaluating every period/ablation variant against that shared
+// characterization.
 //
 // The paper's studies — Figure 1, the migration-period sweep, the
 // migration-energy ablation — are all instances of such grids, and the
-// experiments façade drives them through this runner. Results are
+// hotnoc.Lab façade drives them through this runner. Results are
 // bitwise identical to a serial walk of the same grid: every stage of the
 // pipeline is deterministic, workers operate on independent System clones,
-// and outcomes are returned in point order regardless of completion order.
+// and outcomes stream in point order regardless of completion order.
 package sim
 
 import (
 	"context"
 	"fmt"
+	"iter"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hotnoc/internal/chipcfg"
 	"hotnoc/internal/core"
@@ -28,9 +32,11 @@ type Point struct {
 	// Config is the chip configuration letter (A-E).
 	Config string
 	// Scheme is the migration scheme. Schemes are identified by name when
-	// grouping work, so custom schemes must have unique names.
+	// grouping work and caching characterizations, so custom schemes must
+	// have unique names.
 	Scheme core.Scheme
-	// Blocks is the migration period in decoded blocks (0 = 1).
+	// Blocks is the migration period in decoded blocks (0 = 1; negative
+	// periods are rejected before any work starts).
 	Blocks int
 	// ExcludeMigrationEnergy drops migration energy from the thermal
 	// schedule (the paper's §3 ablation).
@@ -51,6 +57,15 @@ type Options struct {
 	Scale int
 	// Workers bounds the worker pool (default GOMAXPROCS).
 	Workers int
+	// CacheDir persists NoC characterizations (gob files keyed by
+	// configuration, scheme and scale) so a fresh process pointed at the
+	// same directory skips the cycle-accurate stage. Empty keeps the
+	// characterization cache memory-only.
+	CacheDir string
+	// Progress, when set, receives build/characterize/evaluate events as
+	// the sweep pipeline advances. Delivery is serialized; the callback
+	// must not block for long and must not call back into the runner.
+	Progress func(Event)
 }
 
 func (o Options) withDefaults() Options {
@@ -109,17 +124,153 @@ func (c *BuildCache) Get(config string, scale int) (*chipcfg.Built, error) {
 	return e.built, e.err
 }
 
-// Runner executes experiment grids. A Runner may be reused across Run
-// calls; its build cache persists, so repeated sweeps over the same
-// configurations skip construction entirely.
+// Runner executes experiment grids. A Runner is safe for concurrent use
+// and may be reused across Run calls; its build cache and characterization
+// cache persist, so repeated sweeps over the same grid skip construction
+// and the cycle-accurate NoC stage entirely.
 type Runner struct {
 	opts   Options
 	builds *BuildCache
+	chars  *CharCache
+
+	// decodes counts engine block decodes performed on behalf of this
+	// runner — the unit of expensive NoC work. A fully cache-served sweep
+	// leaves it untouched.
+	decodes atomic.Uint64
+
+	// progressMu serializes Progress callbacks; emittedBuilds ensures one
+	// start/done event pair per actual build.
+	progressMu    sync.Mutex
+	buildEventsMu sync.Mutex
+	emittedBuilds map[buildKey]bool
 }
 
 // NewRunner returns a runner with the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.withDefaults(), builds: NewBuildCache()}
+	opts = opts.withDefaults()
+	return &Runner{
+		opts:          opts,
+		builds:        NewBuildCache(),
+		chars:         NewCharCache(opts.CacheDir),
+		emittedBuilds: map[buildKey]bool{},
+	}
+}
+
+// Decodes returns the number of engine block decodes this runner has
+// performed — the cost of the NoC characterizations it could not serve
+// from cache. Sweeps repeated over the same grid (or warm-restarted from
+// a cache directory) leave the counter unchanged.
+func (r *Runner) Decodes() uint64 { return r.decodes.Load() }
+
+func (r *Runner) emit(ev Event) {
+	if r.opts.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.opts.Progress(ev)
+}
+
+// builtFor resolves one configuration's calibrated build through the
+// cache, emitting one build event pair the first time the build actually
+// runs.
+func (r *Runner) builtFor(config string) (*chipcfg.Built, error) {
+	key := buildKey{config: config, scale: r.opts.Scale}
+	first := false
+	r.buildEventsMu.Lock()
+	if !r.emittedBuilds[key] {
+		r.emittedBuilds[key] = true
+		first = true
+	}
+	r.buildEventsMu.Unlock()
+	if first {
+		r.emit(Event{Stage: StageBuildStart, Config: config, Scale: r.opts.Scale, Point: -1})
+	}
+	built, err := r.builds.Get(config, r.opts.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("sim: config %s: %w", config, err)
+	}
+	if first {
+		r.emit(Event{Stage: StageBuildDone, Config: config, Scale: r.opts.Scale, Point: -1})
+	}
+	return built, nil
+}
+
+// charFor resolves one (configuration, scheme) characterization through
+// the cross-run cache, simulating the orbit on the cycle-accurate NoC
+// only on a miss.
+func (r *Runner) charFor(config string, scheme core.Scheme) (*core.CharData, *chipcfg.Built, error) {
+	built, err := r.builtFor(config)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := CharKey{Config: config, Scheme: scheme.Name, Scale: r.opts.Scale}
+	data, hit, err := r.chars.Get(key, built.System.Grid.N(), func() (*core.CharData, error) {
+		r.emit(Event{Stage: StageCharacterizeStart, Config: config, Scale: r.opts.Scale,
+			Scheme: scheme.Name, Point: -1})
+		// The characterizing system is a private clone: one System holds
+		// mutable engine, network and I/O state.
+		sys, err := built.System.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("clone: %w", err)
+		}
+		ch, err := sys.Characterize(scheme)
+		r.decodes.Add(sys.Engine.Decodes)
+		if err != nil {
+			return nil, err
+		}
+		return ch.Data(), nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: config %s scheme %s: %w", config, scheme.Name, err)
+	}
+	r.emit(Event{Stage: StageCharacterizeDone, Config: config, Scale: r.opts.Scale,
+		Scheme: scheme.Name, Point: -1, CacheHit: hit})
+	return data, built, nil
+}
+
+// Built returns the calibrated build for one configuration at the
+// runner's scale, constructing it on first use.
+func (r *Runner) Built(config string) (*chipcfg.Built, error) {
+	return r.builtFor(config)
+}
+
+// Characterization returns the (configuration, scheme) orbit
+// characterization and its calibrated build, serving from the cross-run
+// cache when possible. Callers evaluate the result on their own System
+// clone; a Characterization must not be shared across goroutines, but
+// each call returns an independent view of the shared immutable data.
+func (r *Runner) Characterization(config string, scheme core.Scheme) (*core.Characterization, *chipcfg.Built, error) {
+	if scheme.StepFn == nil {
+		return nil, nil, fmt.Errorf("sim: scheme %q has no step function", scheme.Name)
+	}
+	data, built, err := r.charFor(config, scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, err := core.FromData(scheme, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch, built, nil
+}
+
+// validatePoints fails fast on malformed grids — unknown configuration
+// names, schemes without step functions, negative periods — before any
+// build or worker starts, naming the offending point.
+func validatePoints(pts []Point) error {
+	for i, p := range pts {
+		if _, err := chipcfg.ByName(p.Config); err != nil {
+			return fmt.Errorf("sim: point %d: %w", i, err)
+		}
+		if p.Scheme.StepFn == nil {
+			return fmt.Errorf("sim: point %d: scheme %q has no step function", i, p.Scheme.Name)
+		}
+		if p.Blocks < 0 {
+			return fmt.Errorf("sim: point %d: negative migration period %d blocks", i, p.Blocks)
+		}
+	}
+	return nil
 }
 
 // task is the unit of worker scheduling: all grid points sharing one
@@ -132,87 +283,134 @@ type task struct {
 }
 
 // Run evaluates every point of the grid and returns outcomes in point
-// order. Points sharing a configuration share one calibrated build; points
-// sharing (configuration, scheme) additionally share one NoC
-// characterization, so period and ablation variants cost only a thermal
-// evaluation each. Run stops at the first error or context cancellation.
+// order. Run is Stream collected into a slice; it stops at the first
+// error or context cancellation.
 func (r *Runner) Run(ctx context.Context, pts []Point) ([]Outcome, error) {
 	if len(pts) == 0 {
 		return nil, nil
 	}
-	tasks := groupPoints(pts)
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	out := make([]Outcome, len(pts))
-	taskCh := make(chan task)
-	errCh := make(chan error, 1)
-	fail := func(err error) {
-		select {
-		case errCh <- err:
-			cancel()
-		default:
+	out := make([]Outcome, 0, len(pts))
+	for o, err := range r.Stream(ctx, pts) {
+		if err != nil {
+			return nil, err
 		}
-	}
-
-	workers := r.opts.Workers
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range taskCh {
-				if ctx.Err() != nil {
-					return
-				}
-				if err := r.runTask(ctx, t, pts, out); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-
-feed:
-	for _, t := range tasks {
-		select {
-		case taskCh <- t:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(taskCh)
-	wg.Wait()
-
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+		out = append(out, o)
 	}
 	return out, nil
 }
 
-// runTask characterizes one (configuration, scheme) on a private System
-// clone and evaluates every period/ablation variant of the group.
-func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome) error {
-	built, err := r.builds.Get(t.config, r.opts.Scale)
-	if err != nil {
-		return fmt.Errorf("sim: config %s: %w", t.config, err)
+// Stream evaluates the grid concurrently and yields outcomes in point
+// order as they complete, so a consumer renders early cells of a long
+// sweep while later ones are still simulating. Points sharing a
+// configuration share one calibrated build; points sharing
+// (configuration, scheme) share one NoC characterization, served from the
+// cross-run cache when available. On error or context cancellation the
+// sequence yields one final (zero Outcome, error) pair and stops. An
+// early break cancels outstanding work before returning.
+func (r *Runner) Stream(ctx context.Context, pts []Point) iter.Seq2[Outcome, error] {
+	return func(yield func(Outcome, error) bool) {
+		if len(pts) == 0 {
+			return
+		}
+		if err := validatePoints(pts); err != nil {
+			yield(Outcome{}, err)
+			return
+		}
+		tasks := groupPoints(pts)
+
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		out := make([]Outcome, len(pts))
+		ready := make([]chan struct{}, len(pts))
+		for i := range ready {
+			ready[i] = make(chan struct{})
+		}
+
+		var failErr error
+		var failOnce sync.Once
+		failed := make(chan struct{})
+		fail := func(err error) {
+			failOnce.Do(func() {
+				failErr = err
+				close(failed)
+				cancel()
+			})
+		}
+
+		taskCh := make(chan task)
+		workers := min(r.opts.Workers, len(tasks))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range taskCh {
+					if ctx.Err() != nil {
+						return
+					}
+					if err := r.runTask(ctx, t, pts, out, ready); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			defer close(taskCh)
+			for _, t := range tasks {
+				select {
+				case taskCh <- t:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		defer wg.Wait()
+
+		for i := range pts {
+			select {
+			case <-ready[i]:
+			default:
+				select {
+				case <-ready[i]:
+				case <-failed:
+					wg.Wait()
+					yield(Outcome{}, failErr)
+					return
+				case <-ctx.Done():
+					wg.Wait()
+					select {
+					case <-failed:
+						yield(Outcome{}, failErr)
+					default:
+						yield(Outcome{}, ctx.Err())
+					}
+					return
+				}
+			}
+			if !yield(out[i], nil) {
+				cancel()
+				return
+			}
+		}
 	}
-	// One System holds mutable engine, network and I/O state, so each task
-	// works on its own clone of the shared calibrated system.
+}
+
+// runTask resolves one (configuration, scheme) characterization — cache
+// or cycle-accurate NoC — and evaluates every period/ablation variant of
+// the group on a private System clone, marking each point ready as its
+// outcome lands.
+func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome, ready []chan struct{}) error {
+	data, built, err := r.charFor(t.config, t.scheme)
+	if err != nil {
+		return err
+	}
 	sys, err := built.System.Clone()
 	if err != nil {
 		return fmt.Errorf("sim: config %s: clone: %w", t.config, err)
 	}
-	ch, err := sys.Characterize(t.scheme)
+	ch, err := core.FromData(t.scheme, data)
 	if err != nil {
 		return fmt.Errorf("sim: config %s scheme %s: %w", t.config, t.scheme.Name, err)
 	}
@@ -230,6 +428,9 @@ func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome
 				p.Config, p.Scheme.Name, p.Blocks, err)
 		}
 		out[idx] = Outcome{Point: p, Built: built, Result: res}
+		close(ready[idx])
+		r.emit(Event{Stage: StageEvaluateDone, Config: p.Config, Scale: r.opts.Scale,
+			Scheme: p.Scheme.Name, Point: idx, Blocks: p.Blocks})
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hotnoc/internal/chipcfg"
@@ -100,6 +101,115 @@ func TestRunUnknownConfig(t *testing.T) {
 		[]Point{{Config: "Z", Scheme: core.Rot()}})
 	if err == nil {
 		t.Fatal("unknown configuration accepted")
+	}
+}
+
+// TestRunFailsFastOnBadPoints: malformed grids are rejected before any
+// build or characterization starts, and the error names the offending
+// point index.
+func TestRunFailsFastOnBadPoints(t *testing.T) {
+	r := NewRunner(Options{Scale: testScale, Progress: func(ev Event) {
+		t.Errorf("pipeline event %v fired for an invalid grid", ev)
+	}})
+	cases := []struct {
+		name string
+		pts  []Point
+		frag string
+	}{
+		{
+			"unknown config",
+			[]Point{{Config: "A", Scheme: core.Rot()}, {Config: "Z", Scheme: core.Rot()}},
+			"point 1",
+		},
+		{
+			"negative blocks",
+			[]Point{{Config: "A", Scheme: core.Rot()}, {Config: "A", Scheme: core.XYShift(), Blocks: -3}},
+			"point 1: negative migration period",
+		},
+		{
+			"nil scheme",
+			[]Point{{Config: "A", Scheme: core.Scheme{Name: "custom"}}},
+			"point 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := r.Run(context.Background(), tc.pts)
+			if err == nil {
+				t.Fatal("bad grid accepted")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not name the bad point (%q)", err, tc.frag)
+			}
+		})
+	}
+	if n := r.Decodes(); n != 0 {
+		t.Fatalf("%d decodes performed for invalid grids, want 0", n)
+	}
+}
+
+// TestStreamYieldsInPointOrder: the streaming sequence delivers every
+// outcome, in grid order, while work completes concurrently.
+func TestStreamYieldsInPointOrder(t *testing.T) {
+	pts := Grid([]string{"A"}, []core.Scheme{core.XYShift(), core.Rot()}, []int{1, 4})
+	r := NewRunner(Options{Scale: testScale, Workers: 4})
+	i := 0
+	for out, err := range r.Stream(context.Background(), pts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pts[i]
+		if out.Point.Config != p.Config || out.Point.Scheme.Name != p.Scheme.Name ||
+			out.Point.Blocks != p.Blocks {
+			t.Fatalf("stream position %d carries %s/%s/b%d, want %s/%s/b%d", i,
+				out.Point.Config, out.Point.Scheme.Name, out.Point.Blocks,
+				p.Config, p.Scheme.Name, p.Blocks)
+		}
+		i++
+	}
+	if i != len(pts) {
+		t.Fatalf("stream yielded %d outcomes, want %d", i, len(pts))
+	}
+}
+
+// TestStreamEarlyBreak: breaking out of the sequence cancels outstanding
+// work and returns without deadlocking.
+func TestStreamEarlyBreak(t *testing.T) {
+	pts := Grid([]string{"A"}, core.AllSchemes(), []int{1, 4})
+	r := NewRunner(Options{Scale: testScale, Workers: 2})
+	n := 0
+	for _, err := range r.Stream(context.Background(), pts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("consumed %d outcomes before break, want 2", n)
+	}
+	// The runner stays usable after an abandoned stream.
+	if _, err := r.Run(context.Background(), pts[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamCancelledContext: the stream surfaces context cancellation as
+// its final yielded error.
+func TestStreamCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var last error
+	n := 0
+	for _, err := range NewRunner(Options{Scale: testScale}).
+		Stream(ctx, Grid([]string{"A"}, core.AllSchemes(), nil)) {
+		last = err
+		n++
+	}
+	if n != 1 || !errors.Is(last, context.Canceled) {
+		t.Fatalf("stream yielded %d times with final err %v, want one context.Canceled", n, last)
 	}
 }
 

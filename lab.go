@@ -1,0 +1,269 @@
+package hotnoc
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"hotnoc/internal/sim"
+)
+
+// Event is one progress notification from a Lab's pipeline; see the
+// Stage* constants for the stages it reports.
+type Event = sim.Event
+
+// SweepStage labels the pipeline stage an Event reports.
+type SweepStage = sim.Stage
+
+// The pipeline stages a WithProgress callback observes.
+const (
+	StageBuildStart        = sim.StageBuildStart
+	StageBuildDone         = sim.StageBuildDone
+	StageCharacterizeStart = sim.StageCharacterizeStart
+	StageCharacterizeDone  = sim.StageCharacterizeDone
+	StageEvaluateDone      = sim.StageEvaluateDone
+)
+
+// Lab is the package's session handle: a concurrency-safe, long-lived
+// environment that owns the build cache and the cross-run
+// characterization cache, and exposes every experiment as a method.
+// Creating a Lab costs nothing; caches fill on demand and persist for the
+// Lab's lifetime, so a second sweep over the same grid performs zero NoC
+// characterizations. With WithCacheDir the characterization cache also
+// persists to disk, and a fresh process pointed at the same directory
+// warm-starts: it skips the cycle-accurate stage entirely and produces
+// results bitwise identical to a cold run.
+//
+//	lab := hotnoc.NewLab(hotnoc.WithScale(8), hotnoc.WithCacheDir(".hotnoc-cache"))
+//	for out, err := range lab.Sweep(ctx, pts) {
+//		if err != nil {
+//			return err
+//		}
+//		fmt.Println(out.Point.Config, out.Result.ReductionC)
+//	}
+type Lab struct {
+	runner *sim.Runner
+}
+
+// LabOption configures a Lab at construction.
+type LabOption func(*sim.Options)
+
+// WithScale divides the workload size (1 = the full paper-scale
+// configuration, the default; 8 is a good smoke-test size).
+func WithScale(scale int) LabOption {
+	return func(o *sim.Options) { o.Scale = scale }
+}
+
+// WithWorkers bounds the sweep worker pool (default GOMAXPROCS).
+func WithWorkers(n int) LabOption {
+	return func(o *sim.Options) { o.Workers = n }
+}
+
+// WithCacheDir persists NoC characterizations under dir for warm
+// restarts. The directory is created on first write; corrupt or stale
+// entries are ignored and recomputed, never fatal.
+func WithCacheDir(dir string) LabOption {
+	return func(o *sim.Options) { o.CacheDir = dir }
+}
+
+// WithProgress registers a callback for build/characterize/evaluate
+// events. Delivery is serialized across the Lab's workers; the callback
+// must not block for long.
+func WithProgress(fn func(Event)) LabOption {
+	return func(o *sim.Options) { o.Progress = fn }
+}
+
+// NewLab creates a session with the given options.
+func NewLab(opts ...LabOption) *Lab {
+	var o sim.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Lab{runner: sim.NewRunner(o)}
+}
+
+// Sweep evaluates an arbitrary configuration × scheme × period grid
+// concurrently and streams outcomes in point order as they complete, as a
+// Go 1.23 range-over-func sequence. Each configuration is built once,
+// each (configuration, scheme) orbit is characterized on the
+// cycle-accurate NoC once — or served from the Lab's cross-run cache —
+// and every period/ablation variant reuses that characterization for a
+// cheap thermal evaluation. Results are bitwise identical to a serial
+// walk of the same grid. On error the sequence yields one final (zero
+// outcome, error) pair and stops; breaking early cancels in-flight work.
+func (l *Lab) Sweep(ctx context.Context, pts []SweepPoint) iter.Seq2[SweepOutcome, error] {
+	return l.runner.Stream(ctx, pts)
+}
+
+// SweepAll is Sweep collected into a slice, for callers that want the
+// whole grid at once.
+func (l *Lab) SweepAll(ctx context.Context, pts []SweepPoint) ([]SweepOutcome, error) {
+	return l.runner.Run(ctx, pts)
+}
+
+// Build returns the calibrated build for one configuration at the Lab's
+// scale, constructing it on first use and serving the Lab's build cache
+// afterwards.
+func (l *Lab) Build(config string) (*Built, error) {
+	return l.runner.Built(config)
+}
+
+// Decodes returns the number of engine block decodes the Lab has
+// performed — the unit of expensive cycle-accurate NoC work. A sweep
+// served entirely from the characterization cache leaves the counter
+// unchanged, which is how tests assert the cache short-circuits the NoC
+// stage.
+func (l *Lab) Decodes() uint64 { return l.runner.Decodes() }
+
+// Figure1 regenerates Figure 1 of the paper: every migration scheme on
+// every requested circuit configuration (nil = A-E) at the base one-block
+// period. Duplicate configuration names contribute their own rows but are
+// counted once in the per-scheme means, so the §3 averages cannot be
+// skewed by a repeated entry.
+func (l *Lab) Figure1(ctx context.Context, configs []string) (*Figure1Result, error) {
+	if configs == nil {
+		configs = []string{"A", "B", "C", "D", "E"}
+	}
+	pts := SweepGrid(configs, Schemes(), nil)
+	outs, err := l.SweepAll(ctx, pts)
+	if err != nil {
+		return nil, err
+	}
+	// Outcomes arrive in point order: configuration-major, scheme-minor,
+	// one row of len(Schemes()) cells per requested configuration (repeats
+	// included).
+	out := &Figure1Result{MeanReductionC: map[string]float64{}}
+	nSchemes := len(Schemes())
+	sums := map[string]float64{}
+	seen := map[string]bool{}
+	distinct := 0
+	for ri, name := range configs {
+		rowOuts := outs[ri*nSchemes : (ri+1)*nSchemes]
+		row := Figure1Row{Config: name, BasePeakC: rowOuts[0].Built.StaticPeakC}
+		for _, o := range rowOuts {
+			row.Cells = append(row.Cells, Figure1Cell{
+				Scheme:            o.Point.Scheme.Name,
+				ReductionC:        o.Result.ReductionC,
+				MigratedPeakC:     o.Result.MigratedPeakC,
+				ThroughputPenalty: o.Result.ThroughputPenalty,
+			})
+			if !seen[name] {
+				sums[o.Point.Scheme.Name] += o.Result.ReductionC
+			}
+		}
+		if !seen[name] {
+			seen[name] = true
+			distinct++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for scheme, sum := range sums {
+		out.MeanReductionC[scheme] = sum / float64(distinct)
+	}
+	return out, nil
+}
+
+// PeriodSweep regenerates the migration-period trade-off on one
+// configuration with one scheme: longer periods cut the throughput
+// penalty while the peak temperature rises only marginally. All periods
+// share one NoC characterization (nil blocks = 1, 4, 8).
+func (l *Lab) PeriodSweep(ctx context.Context, config string, scheme Scheme, blocks []int) ([]PeriodPoint, error) {
+	if len(blocks) == 0 {
+		blocks = []int{1, 4, 8}
+	}
+	pts := SweepGrid([]string{config}, []Scheme{scheme}, blocks)
+	outs, err := l.SweepAll(ctx, pts)
+	if err != nil {
+		return nil, err
+	}
+	var out []PeriodPoint
+	for _, o := range outs {
+		out = append(out, PeriodPoint{
+			Blocks:            o.Point.Blocks,
+			PeriodSec:         o.Result.PeriodSec,
+			ThroughputPenalty: o.Result.ThroughputPenalty,
+			PeakC:             o.Result.MigratedPeakC,
+		})
+	}
+	for i := range out {
+		out[i].PeakRiseC = out[i].PeakC - out[0].PeakC
+	}
+	return out, nil
+}
+
+// MigrationEnergy regenerates the migration-energy ablation for every
+// scheme on one configuration (the paper highlights rotation on E). The
+// with/without pair of each scheme shares one NoC characterization.
+func (l *Lab) MigrationEnergy(ctx context.Context, config string) ([]EnergyStudy, error) {
+	var pts []SweepPoint
+	for _, s := range Schemes() {
+		pts = append(pts,
+			SweepPoint{Config: config, Scheme: s},
+			SweepPoint{Config: config, Scheme: s, ExcludeMigrationEnergy: true})
+	}
+	outs, err := l.SweepAll(ctx, pts)
+	if err != nil {
+		return nil, err
+	}
+	var out []EnergyStudy
+	for i := 0; i < len(outs); i += 2 {
+		with, without := outs[i].Result, outs[i+1].Result
+		var cycles int64
+		for _, leg := range with.Legs {
+			cycles += leg.Migration.Cycles
+		}
+		cycles /= int64(len(with.Legs))
+		out = append(out, EnergyStudy{
+			Scheme:            outs[i].Point.Scheme.Name,
+			MeanWithC:         with.MigratedMeanC,
+			MeanWithoutC:      without.MigratedMeanC,
+			DeltaMeanC:        with.MigratedMeanC - without.MigratedMeanC,
+			ReductionWithC:    with.ReductionC,
+			ReductionWithoutC: without.ReductionC,
+			MigrationEnergyJ:  with.MigrationEnergyJ,
+			MigrationCycles:   cycles,
+		})
+	}
+	return out, nil
+}
+
+// Reactive evaluates threshold-triggered migration configurations on one
+// chip configuration. All entries selecting the same scheme share one NoC
+// characterization — served from the Lab's cross-run cache when available
+// — so a reactive parameter sweep (trigger thresholds, sensor
+// quantisations, horizons) pays for each orbit once, exactly as periodic
+// period sweeps do. Results are bitwise identical to the fused
+// System.RunReactive.
+func (l *Lab) Reactive(ctx context.Context, config string, cfgs []ReactiveConfig) ([]ReactiveResult, error) {
+	out := make([]ReactiveResult, len(cfgs))
+	// One evaluation system per scheme: EvaluateReactive reuses its cached
+	// thermal factorisations across the scheme's configs.
+	systems := map[string]*System{}
+	chars := map[string]*Characterization{}
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cfg.Scheme.StepFn == nil {
+			return nil, fmt.Errorf("hotnoc: reactive config %d has no migration scheme", i)
+		}
+		name := cfg.Scheme.Name
+		if chars[name] == nil {
+			ch, built, err := l.runner.Characterization(config, cfg.Scheme)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := built.System.Clone()
+			if err != nil {
+				return nil, fmt.Errorf("hotnoc: config %s: clone: %w", config, err)
+			}
+			chars[name], systems[name] = ch, sys
+		}
+		res, err := systems[name].EvaluateReactive(chars[name], cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hotnoc: reactive config %d (%s): %w", i, name, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}

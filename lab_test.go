@@ -1,0 +1,293 @@
+package hotnoc
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func labGrid() []SweepPoint {
+	return SweepGrid([]string{"A", "E"}, []Scheme{XYShift(), Rot()}, []int{1, 4})
+}
+
+// TestLabSecondSweepSkipsCharacterization is the in-process half of the
+// acceptance criterion: a second Lab.Sweep over the same grid performs
+// zero NoC characterizations — the engine decode counter does not move —
+// and returns bitwise identical outcomes.
+func TestLabSecondSweepSkipsCharacterization(t *testing.T) {
+	ctx := context.Background()
+	lab := NewLab(WithScale(testScale))
+	pts := labGrid()
+
+	cold, err := lab.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodes := lab.Decodes()
+	if decodes == 0 {
+		t.Fatal("cold sweep performed no decodes")
+	}
+
+	warm, err := lab.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Decodes(); got != decodes {
+		t.Fatalf("second sweep performed %d NoC decodes, want 0", got-decodes)
+	}
+	for i := range cold {
+		if !reflect.DeepEqual(cold[i].Result, warm[i].Result) {
+			t.Fatalf("point %d: cached result differs from cold run", i)
+		}
+	}
+}
+
+// TestLabWarmRestartFromDisk is the cross-process half of the acceptance
+// criterion: a fresh Lab (standing in for a fresh process) pointed at the
+// previous run's cache directory performs zero NoC characterizations and
+// reproduces the cold results bit for bit.
+func TestLabWarmRestartFromDisk(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	pts := labGrid()
+
+	cold, err := NewLab(WithScale(testScale), WithCacheDir(dir)).SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hits, misses int
+	lab2 := NewLab(WithScale(testScale), WithCacheDir(dir), WithProgress(func(ev Event) {
+		if ev.Stage == StageCharacterizeDone {
+			if ev.CacheHit {
+				hits++
+			} else {
+				misses++
+			}
+		}
+	}))
+	warm, err := lab2.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab2.Decodes(); got != 0 {
+		t.Fatalf("warm restart performed %d NoC decodes, want 0", got)
+	}
+	if misses != 0 || hits == 0 {
+		t.Fatalf("warm restart saw %d cache hits, %d misses; want all hits", hits, misses)
+	}
+	for i := range cold {
+		if !reflect.DeepEqual(cold[i].Result, warm[i].Result) {
+			t.Fatalf("point %d: warm-restart result differs from cold run", i)
+		}
+	}
+}
+
+// TestLabCorruptCacheIgnored: trashing every persisted entry must not
+// fail the sweep — the lab recomputes, reproduces the cold results, and
+// leaves valid entries behind.
+func TestLabCorruptCacheIgnored(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	pts := labGrid()[:4] // one configuration is enough here
+
+	cold, err := NewLab(WithScale(testScale), WithCacheDir(dir)).SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries persisted (err %v)", err)
+	}
+	for _, f := range entries {
+		if err := os.WriteFile(f, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lab2 := NewLab(WithScale(testScale), WithCacheDir(dir))
+	redo, err := lab2.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatalf("corrupt cache entries became fatal: %v", err)
+	}
+	if lab2.Decodes() == 0 {
+		t.Fatal("corrupt entries served as cache hits")
+	}
+	for i := range cold {
+		if !reflect.DeepEqual(cold[i].Result, redo[i].Result) {
+			t.Fatalf("point %d: result after cache corruption differs", i)
+		}
+	}
+
+	lab3 := NewLab(WithScale(testScale), WithCacheDir(dir))
+	if _, err := lab3.SweepAll(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := lab3.Decodes(); got != 0 {
+		t.Fatalf("repaired cache still missed (%d decodes)", got)
+	}
+}
+
+// TestLabSweepStreamsInOrder: the range-over-func sweep yields outcomes
+// in point order and supports early exit.
+func TestLabSweepStreamsInOrder(t *testing.T) {
+	lab := NewLab(WithScale(testScale), WithWorkers(4))
+	pts := labGrid()
+	i := 0
+	for out, err := range lab.Sweep(context.Background(), pts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Point.Config != pts[i].Config || out.Point.Scheme.Name != pts[i].Scheme.Name ||
+			out.Point.Blocks != pts[i].Blocks {
+			t.Fatalf("stream position %d carries %s/%s/b%d, want %s/%s/b%d", i,
+				out.Point.Config, out.Point.Scheme.Name, out.Point.Blocks,
+				pts[i].Config, pts[i].Scheme.Name, pts[i].Blocks)
+		}
+		i++
+	}
+	if i != len(pts) {
+		t.Fatalf("stream yielded %d outcomes, want %d", i, len(pts))
+	}
+	for range lab.Sweep(context.Background(), pts) {
+		break // an abandoned stream must not wedge the lab
+	}
+	if _, err := lab.SweepAll(context.Background(), pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabProgressEvents: a sweep reports build, characterization and
+// evaluation events, and a repeat sweep reports cache hits.
+func TestLabProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[SweepStage]int{}
+	hits := 0
+	lab := NewLab(WithScale(testScale), WithProgress(func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[ev.Stage]++
+		if ev.Stage == StageCharacterizeDone && ev.CacheHit {
+			hits++
+		}
+	}))
+	pts := SweepGrid([]string{"D"}, []Scheme{XYShift(), Rot()}, []int{1, 4})
+	if _, err := lab.SweepAll(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if counts[StageBuildStart] != 1 || counts[StageBuildDone] != 1 {
+		t.Fatalf("build events %d/%d, want 1/1", counts[StageBuildStart], counts[StageBuildDone])
+	}
+	if counts[StageCharacterizeStart] != 2 || counts[StageCharacterizeDone] != 2 {
+		t.Fatalf("characterize events %d/%d, want 2/2",
+			counts[StageCharacterizeStart], counts[StageCharacterizeDone])
+	}
+	if counts[StageEvaluateDone] != len(pts) {
+		t.Fatalf("%d evaluate events, want %d", counts[StageEvaluateDone], len(pts))
+	}
+	if hits != 0 {
+		t.Fatalf("%d cache hits on a cold sweep", hits)
+	}
+	mu.Unlock()
+
+	if _, err := lab.SweepAll(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[StageCharacterizeStart] != 2 {
+		t.Fatalf("repeat sweep re-characterized (%d start events)", counts[StageCharacterizeStart])
+	}
+	if hits != 2 {
+		t.Fatalf("repeat sweep reported %d cache hits, want 2", hits)
+	}
+	if counts[StageBuildStart] != 1 {
+		t.Fatalf("repeat sweep rebuilt (%d build-start events)", counts[StageBuildStart])
+	}
+}
+
+// TestLabReactiveSharesOrbit: a reactive parameter sweep through the lab
+// matches the fused System.RunReactive bit for bit while characterizing
+// the orbit exactly once — including reusing a characterization left by a
+// periodic sweep.
+func TestLabReactiveSharesOrbit(t *testing.T) {
+	ctx := context.Background()
+	lab := NewLab(WithScale(testScale))
+
+	// Periodic sweep first: its characterization should serve the
+	// reactive runs below.
+	if _, err := lab.SweepAll(ctx, []SweepPoint{{Config: "A", Scheme: XYShift()}}); err != nil {
+		t.Fatal(err)
+	}
+	decodes := lab.Decodes()
+
+	cfgs := []ReactiveConfig{
+		{Scheme: XYShift(), TriggerC: 84, SimBlocks: 300, WarmupBlocks: 150},
+		{Scheme: XYShift(), TriggerC: 82, SimBlocks: 300, WarmupBlocks: 150},
+	}
+	got, err := lab.Reactive(ctx, "A", cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := lab.Decodes(); n != decodes {
+		t.Fatalf("reactive sweep performed %d extra NoC decodes, want 0", n-decodes)
+	}
+
+	built, err := BuildConfig("A", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want, err := built.System.RunReactive(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("reactive config %d differs from fused RunReactive", i)
+		}
+	}
+}
+
+// TestLabFigure1DuplicateConfigsMean: duplicate configuration names get
+// their own rows but cannot skew the per-scheme means (the §3 averages).
+func TestLabFigure1DuplicateConfigsMean(t *testing.T) {
+	ctx := context.Background()
+	lab := NewLab(WithScale(testScale))
+	dup, err := lab.Figure1(ctx, []string{"A", "A", "E"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := lab.Figure1(ctx, []string{"A", "E"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup.Rows) != 3 || len(clean.Rows) != 2 {
+		t.Fatalf("row counts %d/%d, want 3/2", len(dup.Rows), len(clean.Rows))
+	}
+	if !reflect.DeepEqual(dup.MeanReductionC, clean.MeanReductionC) {
+		t.Fatalf("duplicate configs skewed the scheme means:\n dup   %v\n clean %v",
+			dup.MeanReductionC, clean.MeanReductionC)
+	}
+}
+
+// TestLabBuildCache: Lab.Build shares the session build cache with
+// sweeps.
+func TestLabBuildCache(t *testing.T) {
+	lab := NewLab(WithScale(testScale))
+	b1, err := lab.Build("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := lab.SweepAll(context.Background(),
+		[]SweepPoint{{Config: "D", Scheme: XYShift()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Built != b1 {
+		t.Fatal("sweep did not reuse Lab.Build's calibrated build")
+	}
+}

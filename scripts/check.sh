@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# check.sh mirrors CI locally: build, vet, tests, race detector over the
+# cache/streaming paths, staticcheck when installed, and a one-iteration
+# bench smoke over the scaled-down packages so bench code cannot rot.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build" && go build ./...
+echo "== go vet" && go vet ./...
+echo "== go test" && go test ./...
+echo "== go test -race (cache + streaming paths)" && go test -race ./internal/sim ./internal/core .
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck" && staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping (CI runs it)"
+fi
+
+echo "== bench smoke (internal packages, 1 iteration)"
+go test -run '^$' -bench=. -benchtime=1x ./internal/...
+
+echo "ok"

@@ -14,22 +14,22 @@ type (
 	// SweepOutcome pairs a grid point with its calibrated build and run
 	// result.
 	SweepOutcome = sim.Outcome
-	// SweepOptions sets the workload scale and worker-pool size.
+	// SweepOptions sets the workload scale, worker-pool size, cache
+	// directory and progress callback.
 	SweepOptions = sim.Options
-	// SweepRunner executes grids with a persistent build cache.
+	// SweepRunner executes grids with persistent build and
+	// characterization caches.
 	SweepRunner = sim.Runner
 )
 
 // Sweep evaluates an arbitrary configuration × scheme × period grid
-// concurrently and returns outcomes in point order. Each configuration is
-// built and calibrated once, each (configuration, scheme) orbit is
-// characterized on the cycle-accurate NoC once, and every period/ablation
-// variant reuses that characterization for a cheap thermal evaluation.
-// Results are bitwise identical to a serial walk of the same grid. The
-// context cancels in-flight work between cells.
+// concurrently and returns outcomes in point order.
 //
-//	pts := hotnoc.SweepGrid([]string{"A", "E"}, hotnoc.Schemes(), []int{1, 4, 8})
-//	outs, err := hotnoc.Sweep(ctx, pts, hotnoc.SweepOptions{Scale: 8})
+// Deprecated: use Lab.Sweep (streaming) or Lab.SweepAll, which share the
+// session's build and characterization caches across calls:
+//
+//	lab := hotnoc.NewLab(hotnoc.WithScale(8))
+//	outs, err := lab.SweepAll(ctx, pts)
 func Sweep(ctx context.Context, pts []SweepPoint, opts SweepOptions) ([]SweepOutcome, error) {
 	return sim.NewRunner(opts).Run(ctx, pts)
 }
@@ -40,7 +40,9 @@ func SweepGrid(configs []string, schemes []Scheme, blocks []int) []SweepPoint {
 	return sim.Grid(configs, schemes, blocks)
 }
 
-// NewSweepRunner returns a reusable runner whose build cache persists
-// across Run calls — useful for interactive tools that sweep repeatedly
-// over the same configurations.
+// NewSweepRunner returns a reusable runner whose caches persist across
+// Run calls.
+//
+// Deprecated: use NewLab; a Lab wraps the same runner behind options,
+// streaming sweeps and experiment methods.
 func NewSweepRunner(opts SweepOptions) *SweepRunner { return sim.NewRunner(opts) }
