@@ -43,6 +43,9 @@
 package hotnoc
 
 import (
+	"context"
+	"iter"
+
 	"hotnoc/internal/chipcfg"
 	"hotnoc/internal/core"
 )
@@ -96,6 +99,31 @@ func Configs() []Spec { return chipcfg.Specs() }
 
 // ConfigByName returns one configuration spec by letter.
 func ConfigByName(name string) (Spec, error) { return chipcfg.ByName(name) }
+
+// Session is the experiment surface shared by a local Lab and a remote
+// client talking to a hotnocd daemon: streaming grid sweeps plus the
+// paper's derived studies. The six CLIs program against Session, so a
+// -server flag swaps an in-process Lab for a remote daemon without
+// changing anything else; *Lab and the client package's *Client both
+// satisfy it. Lab-only facilities — Reactive sweeps, raw Build access,
+// decode counters — are not part of Session because a remote daemon does
+// not expose them.
+type Session interface {
+	// Sweep streams grid outcomes in point order; see Lab.Sweep.
+	Sweep(ctx context.Context, pts []SweepPoint) iter.Seq2[SweepOutcome, error]
+	// SweepAll is Sweep collected into a slice.
+	SweepAll(ctx context.Context, pts []SweepPoint) ([]SweepOutcome, error)
+	// Figure1, PeriodSweep and MigrationEnergy reproduce the paper's
+	// studies; see the Lab methods of the same names.
+	Figure1(ctx context.Context, configs []string) (*Figure1Result, error)
+	PeriodSweep(ctx context.Context, config string, scheme Scheme, blocks []int) ([]PeriodPoint, error)
+	MigrationEnergy(ctx context.Context, config string) ([]EnergyStudy, error)
+	// Placement reports one configuration's thermally-aware static
+	// placement; see Lab.Placement.
+	Placement(ctx context.Context, config string) (*PlacementReport, error)
+}
+
+var _ Session = (*Lab)(nil)
 
 // BuildConfig assembles and calibrates a configuration. scale divides the
 // workload size for quick runs (1 = the full paper-scale configuration;

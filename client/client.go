@@ -1,0 +1,454 @@
+// Package client is the typed Go SDK for the hotnocd daemon: the
+// hotnoc.Lab experiment surface over HTTP, with sweep outcomes streamed
+// back as server-sent events.
+//
+// Client satisfies hotnoc.Session, and Client.Sweep returns the same
+// iter.Seq2[SweepOutcome, error] shape as Lab.Sweep, so code written
+// against the Lab — including every hotnoc CLI behind its -server flag —
+// runs unchanged against a remote daemon:
+//
+//	c := client.New("http://localhost:7077", client.WithScale(8))
+//	for out, err := range c.Sweep(ctx, pts) {
+//		...
+//	}
+//
+// Because JSON round-trips float64 bit-exactly, results obtained through
+// a daemon are bitwise identical to an in-process run at the same scale.
+//
+// Remote outcomes carry a metadata-only Built: StaticPeakC, EnergyScale,
+// BlockCycles, and a System holding just the grid dimensions and clock —
+// what result consumers (tables, heat maps, period conversion) need. The
+// full multi-megabyte simulation state never crosses the wire; callers
+// that need it must build locally. Custom migration schemes cannot cross
+// the wire either — points travel by scheme name and are resolved
+// server-side.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"hotnoc"
+	"hotnoc/internal/chipcfg"
+	"hotnoc/internal/core"
+	"hotnoc/internal/geom"
+	"hotnoc/server/wire"
+)
+
+// Client talks to one hotnocd daemon. It is safe for concurrent use.
+type Client struct {
+	base     string
+	http     *http.Client
+	scale    int
+	progress func(hotnoc.Event)
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithScale sets the workload divisor requested for every sweep (0 means
+// the server default of 1 = paper scale). The daemon keeps one Lab per
+// scale, so clients at one scale share caches.
+func WithScale(n int) Option {
+	return func(c *Client) { c.scale = n }
+}
+
+// WithProgress registers a callback for the daemon's
+// build/characterize/evaluate progress events, mirroring
+// hotnoc.WithProgress. Delivery is serialized per sweep.
+func WithProgress(fn func(hotnoc.Event)) Option {
+	return func(c *Client) { c.progress = fn }
+}
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, test
+// doubles). The default client has no timeout — sweep streams are
+// long-lived; use context cancellation to bound calls.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:7077"). No connection is made until the first call.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+var _ hotnoc.Session = (*Client)(nil)
+
+// NewSession returns the experiment session behind a CLI's flags: a
+// remote daemon client when serverURL is non-empty, otherwise a local Lab
+// built from the remaining options. In remote mode workers and cacheDir
+// are the daemon's business and are ignored; progress (when non-nil)
+// receives pipeline events either way. Every hotnoc CLI routes its
+// -server flag through this one switch so the local and remote paths
+// cannot drift apart.
+func NewSession(serverURL string, scale, workers int, cacheDir string, progress func(hotnoc.Event)) hotnoc.Session {
+	if serverURL != "" {
+		opts := []Option{WithScale(scale)}
+		if progress != nil {
+			opts = append(opts, WithProgress(progress))
+		}
+		return New(serverURL, opts...)
+	}
+	opts := []hotnoc.LabOption{
+		hotnoc.WithScale(scale),
+		hotnoc.WithWorkers(workers),
+		hotnoc.WithCacheDir(cacheDir),
+	}
+	if progress != nil {
+		opts = append(opts, hotnoc.WithProgress(progress))
+	}
+	return hotnoc.NewLab(opts...)
+}
+
+// StartSweep submits a grid and returns the daemon's job id without
+// waiting for any results. Most callers want Sweep, which submits and
+// streams in one call; StartSweep is for working with jobs directly
+// (attach later via the daemon's events endpoint, cancel via CancelJob).
+func (c *Client) StartSweep(ctx context.Context, pts []hotnoc.SweepPoint) (string, error) {
+	req := wire.SweepRequest{Scale: c.scale, Points: make([]wire.PointSpec, len(pts))}
+	for i, p := range pts {
+		req.Points[i] = wire.FromPoint(p)
+	}
+	var created wire.SweepCreated
+	if err := c.postJSON(ctx, "/v1/sweeps", req, &created); err != nil {
+		return "", err
+	}
+	return created.ID, nil
+}
+
+// Sweep submits the grid and streams outcomes in point order as they
+// complete, exactly like Lab.Sweep. On error the sequence yields one
+// final (zero outcome, error) pair and stops; breaking early cancels the
+// server-side job.
+func (c *Client) Sweep(ctx context.Context, pts []hotnoc.SweepPoint) iter.Seq2[hotnoc.SweepOutcome, error] {
+	return func(yield func(hotnoc.SweepOutcome, error) bool) {
+		if len(pts) == 0 {
+			return
+		}
+		id, err := c.StartSweep(ctx, pts)
+		if err != nil {
+			yield(hotnoc.SweepOutcome{}, err)
+			return
+		}
+		finished, err := c.streamJob(ctx, id, len(pts), yield)
+		if err != nil {
+			yield(hotnoc.SweepOutcome{}, err)
+			return
+		}
+		if !finished {
+			// The consumer broke out early: cancel the server-side job so
+			// the daemon stops simulating for nobody. Best effort, on a
+			// fresh context — the caller's may already be done.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, _ = c.CancelJob(cctx, id)
+		}
+	}
+}
+
+// streamJob consumes a job's SSE stream, yielding outcomes and requiring
+// exactly want of them before the terminal done event. It returns
+// finished=false when the consumer stopped the iteration early, and a
+// non-nil error for transport or server-reported failures.
+func (c *Client) streamJob(ctx context.Context, id string, want int, yield func(hotnoc.SweepOutcome, error) bool) (finished bool, _ error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/sweeps/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, decodeError(resp)
+	}
+
+	// Remote outcomes of one configuration share one metadata-only Built,
+	// mirroring how Lab outcomes share one calibrated build.
+	builts := map[string]*chipcfg.Built{}
+	next := 0 // expected outcome index, to verify SSE point order
+
+	rd := bufio.NewReader(resp.Body)
+	var event string
+	var data bytes.Buffer
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				return false, fmt.Errorf("client: job %s: event stream ended without a terminal event", id)
+			}
+			return false, fmt.Errorf("client: job %s: %w", id, err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if event == "" && data.Len() == 0 {
+				continue
+			}
+			done, err := c.dispatch(event, data.Bytes(), builts, &next, yield)
+			if err != nil {
+				return false, err
+			}
+			switch done {
+			case streamDone:
+				// A done event with outcomes missing means the daemon's
+				// log was truncated (or a version-skewed server); a short
+				// result must be an error, not a silently partial grid.
+				if next != want {
+					return false, fmt.Errorf("client: job %s: done after %d of %d outcomes", id, next, want)
+				}
+				return true, nil
+			case streamStopped:
+				return false, nil
+			}
+			event = ""
+			data.Reset()
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+}
+
+type streamState int
+
+const (
+	streamLive streamState = iota
+	streamDone
+	streamStopped
+)
+
+// dispatch handles one complete SSE frame.
+func (c *Client) dispatch(event string, data []byte, builts map[string]*chipcfg.Built, next *int, yield func(hotnoc.SweepOutcome, error) bool) (streamState, error) {
+	switch event {
+	case wire.EventProgress:
+		if c.progress == nil {
+			return streamLive, nil
+		}
+		var m wire.EventMsg
+		if err := json.Unmarshal(data, &m); err != nil {
+			return streamLive, fmt.Errorf("client: bad progress event: %w", err)
+		}
+		c.progress(m.Event())
+	case wire.EventOutcome:
+		var m wire.OutcomeMsg
+		if err := json.Unmarshal(data, &m); err != nil {
+			return streamLive, fmt.Errorf("client: bad outcome event: %w", err)
+		}
+		if m.Index != *next {
+			return streamLive, fmt.Errorf("client: outcome %d arrived out of order (want %d)", m.Index, *next)
+		}
+		*next++
+		if !yield(outcomeFromMsg(m, builts), nil) {
+			return streamStopped, nil
+		}
+	case wire.EventError:
+		var m wire.ErrorMsg
+		if err := json.Unmarshal(data, &m); err != nil {
+			return streamLive, fmt.Errorf("client: bad error event: %w", err)
+		}
+		return streamLive, m.Err()
+	case wire.EventDone:
+		return streamDone, nil
+	}
+	return streamLive, nil
+}
+
+// outcomeFromMsg rebuilds a SweepOutcome from the wire, fabricating (and
+// sharing per configuration) the metadata-only Built.
+func outcomeFromMsg(m wire.OutcomeMsg, builts map[string]*chipcfg.Built) hotnoc.SweepOutcome {
+	b, ok := builts[m.Built.Config]
+	if !ok {
+		b = &chipcfg.Built{
+			System: &core.System{
+				Grid:    geom.NewGrid(m.Built.GridW, m.Built.GridH),
+				ClockHz: m.Built.ClockHz,
+			},
+			EnergyScale: m.Built.EnergyScale,
+			StaticPeakC: m.Built.StaticPeakC,
+			BlockCycles: m.Built.BlockCycles,
+		}
+		builts[m.Built.Config] = b
+	}
+	p, err := m.Point.Point()
+	if err != nil {
+		// A scheme the client cannot resolve still names itself; result
+		// consumers key on the name only.
+		p = hotnoc.SweepPoint{
+			Config:                 m.Point.Config,
+			Scheme:                 hotnoc.Scheme{Name: m.Point.Scheme},
+			Blocks:                 m.Point.Blocks,
+			ExcludeMigrationEnergy: m.Point.ExcludeMigrationEnergy,
+		}
+	}
+	return hotnoc.SweepOutcome{Point: p, Built: b, Result: m.Result}
+}
+
+// SweepAll is Sweep collected into a slice.
+func (c *Client) SweepAll(ctx context.Context, pts []hotnoc.SweepPoint) ([]hotnoc.SweepOutcome, error) {
+	out := make([]hotnoc.SweepOutcome, 0, len(pts))
+	for o, err := range c.Sweep(ctx, pts) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Figure1 regenerates Figure 1 of the paper through the daemon; see
+// Lab.Figure1. The aggregation is hotnoc.Figure1FromOutcomes, shared with
+// the Lab, so the result is bitwise identical to an in-process run at the
+// same scale.
+func (c *Client) Figure1(ctx context.Context, configs []string) (*hotnoc.Figure1Result, error) {
+	if configs == nil {
+		configs = []string{"A", "B", "C", "D", "E"}
+	}
+	outs, err := c.SweepAll(ctx, hotnoc.SweepGrid(configs, hotnoc.Schemes(), nil))
+	if err != nil {
+		return nil, err
+	}
+	return hotnoc.Figure1FromOutcomes(configs, outs), nil
+}
+
+// PeriodSweep regenerates the migration-period study through the daemon;
+// see Lab.PeriodSweep.
+func (c *Client) PeriodSweep(ctx context.Context, config string, scheme hotnoc.Scheme, blocks []int) ([]hotnoc.PeriodPoint, error) {
+	if len(blocks) == 0 {
+		blocks = []int{1, 4, 8}
+	}
+	outs, err := c.SweepAll(ctx, hotnoc.SweepGrid([]string{config}, []hotnoc.Scheme{scheme}, blocks))
+	if err != nil {
+		return nil, err
+	}
+	return hotnoc.PeriodPointsFromOutcomes(outs), nil
+}
+
+// MigrationEnergy regenerates the migration-energy ablation through the
+// daemon; see Lab.MigrationEnergy.
+func (c *Client) MigrationEnergy(ctx context.Context, config string) ([]hotnoc.EnergyStudy, error) {
+	outs, err := c.SweepAll(ctx, hotnoc.MigrationEnergyGrid(config))
+	if err != nil {
+		return nil, err
+	}
+	return hotnoc.EnergyStudiesFromOutcomes(outs), nil
+}
+
+// Placement fetches one configuration's thermally-aware placement report
+// from the daemon; see Lab.Placement.
+func (c *Client) Placement(ctx context.Context, config string) (*hotnoc.PlacementReport, error) {
+	scale := c.scale
+	if scale <= 0 {
+		scale = 1
+	}
+	var rep hotnoc.PlacementReport
+	if err := c.getJSON(ctx, fmt.Sprintf("/v1/builds/%s?scale=%d", url.PathEscape(config), scale), &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Jobs lists the daemon's jobs in creation order.
+func (c *Client) Jobs(ctx context.Context) ([]wire.JobInfo, error) {
+	var list wire.JobList
+	if err := c.getJSON(ctx, "/v1/jobs", &list); err != nil {
+		return nil, err
+	}
+	return list.Jobs, nil
+}
+
+// Job returns one job's state.
+func (c *Client) Job(ctx context.Context, id string) (wire.JobInfo, error) {
+	var info wire.JobInfo
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), &info)
+	return info, err
+}
+
+// CancelJob cancels a running job (its sweep context is canceled and its
+// event stream terminates with an error event) or forgets a finished one.
+func (c *Client) CancelJob(ctx context.Context, id string) (wire.JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return wire.JobInfo{}, err
+	}
+	var info wire.JobInfo
+	err = c.do(req, &info)
+	return info, err
+}
+
+// Stats returns the daemon's job counts and per-Lab counters: decodes,
+// characterization cache hits/misses, worker utilization.
+func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
+	var st wire.Stats
+	err := c.getJSON(ctx, "/v1/stats", &st)
+	return st, err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, v)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body, v any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, v)
+}
+
+func (c *Client) do(req *http.Request, v any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// decodeError turns a non-2xx response into an error, preferring the
+// server's ErrorMsg body.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var em wire.ErrorMsg
+	if json.Unmarshal(body, &em) == nil && em.Error != "" {
+		return fmt.Errorf("hotnocd: %s (%s)", em.Error, resp.Status)
+	}
+	return fmt.Errorf("hotnocd: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}

@@ -5,16 +5,19 @@
 // Usage:
 //
 //	figure1 [-scale N] [-configs A,B,C,D,E] [-workers N] [-cache-dir DIR]
-//	        [-csv] [-json] [-bars] [-progress]
+//	        [-server URL] [-csv] [-json] [-bars] [-progress]
 //
 // -scale divides the workload size (1 = full paper scale, slower; 8 is a
 // quick smoke run). -workers bounds the lab's worker pool (0 = one per
 // core); the 25-cell grid runs concurrently and Ctrl-C cancels cleanly.
 // -cache-dir persists NoC characterizations, so re-running the figure —
 // or any other tool pointed at the same directory — skips the
-// cycle-accurate stage and reproduces the numbers bit for bit. -csv and
-// -json emit machine-readable output; -bars renders the figure as text
-// bar charts per configuration; -progress logs pipeline events to stderr.
+// cycle-accurate stage and reproduces the numbers bit for bit. -server
+// runs the sweep on a hotnocd daemon instead of in process; results are
+// byte-identical to a local run at the same scale, and -workers /
+// -cache-dir are then the daemon's business. -csv and -json emit
+// machine-readable output; -bars renders the figure as text bar charts
+// per configuration; -progress logs pipeline events to stderr.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"strings"
 
 	"hotnoc"
+	"hotnoc/client"
 	"hotnoc/internal/report"
 )
 
@@ -35,6 +39,7 @@ func main() {
 	configs := flag.String("configs", "A,B,C,D,E", "comma-separated configuration letters")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
 	bars := flag.Bool("bars", false, "also render per-configuration bar charts")
@@ -49,20 +54,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := []hotnoc.LabOption{
-		hotnoc.WithScale(*scale),
-		hotnoc.WithWorkers(*workers),
-		hotnoc.WithCacheDir(*cacheDir),
-	}
+	var logEvent func(hotnoc.Event)
 	if *progress {
-		opts = append(opts, hotnoc.WithProgress(func(ev hotnoc.Event) {
-			fmt.Fprintln(os.Stderr, "figure1:", ev)
-		}))
+		logEvent = func(ev hotnoc.Event) { fmt.Fprintln(os.Stderr, "figure1:", ev) }
 	}
-	lab := hotnoc.NewLab(opts...)
+	session := client.NewSession(*serverURL, *scale, *workers, *cacheDir, logEvent)
 
 	names := strings.Split(*configs, ",")
-	res, err := lab.Figure1(ctx, names)
+	res, err := session.Figure1(ctx, names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figure1:", err)
 		os.Exit(1)

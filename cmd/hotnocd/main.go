@@ -1,0 +1,100 @@
+// Command hotnocd serves hotnoc.Lab sweeps over HTTP so many clients
+// share one characterization cache and one worker pool. Submitted grids
+// become jobs that stream progress and outcomes as server-sent events;
+// the six hotnoc CLIs run against a daemon via their -server flag.
+//
+// Usage:
+//
+//	hotnocd [-addr :7077] [-cache-dir DIR] [-cache-limit N] [-workers N]
+//	        [-drain-timeout 1m] [-v]
+//
+// -addr is the listen address. -cache-dir persists NoC characterizations
+// across restarts (strongly recommended for a long-lived daemon);
+// -cache-limit bounds the file count with LRU eviction. -workers bounds
+// each Lab's worker pool (0 = one per core). On SIGINT/SIGTERM the daemon
+// stops accepting sweeps, drains in-flight jobs for up to -drain-timeout,
+// then cancels whatever remains and exits. -v logs requests.
+//
+// Endpoints (see the server package for details):
+//
+//	POST   /v1/sweeps             submit a grid, returns {"id": "job-N"}
+//	GET    /v1/sweeps/{id}/events SSE stream of progress + outcomes
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          one job
+//	DELETE /v1/jobs/{id}          cancel (or forget) a job
+//	GET    /v1/builds/{config}    placement report (query: scale)
+//	GET    /v1/stats              decodes, cache hits, worker utilization
+//	GET    /healthz               liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hotnoc/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7077", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	cacheLimit := flag.Int("cache-limit", 0, "bound the characterization file count (LRU eviction; 0 = unbounded)")
+	workers := flag.Int("workers", 0, "per-Lab sweep worker pool size (0 = one per core)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to drain in-flight jobs on shutdown")
+	verbose := flag.Bool("v", false, "log requests")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "hotnocd: ", log.LstdFlags)
+
+	svc := server.New(server.Config{
+		CacheDir:   *cacheDir,
+		CacheLimit: *cacheLimit,
+		Workers:    *workers,
+	})
+	var handler http.Handler = svc
+	if *verbose {
+		handler = logRequests(logger, svc)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (cache-dir %q, workers %d)", *addr, *cacheDir, *workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	logger.Printf("shutting down: draining jobs (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain incomplete, canceled remaining jobs: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}
+
+// logRequests is a minimal request logger for -v.
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logger.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

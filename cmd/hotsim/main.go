@@ -5,11 +5,12 @@
 // Usage:
 //
 //	hotsim [-config A] [-scheme rot] [-blocks 1] [-scale N] [-nomigenergy]
-//	       [-cache-dir DIR]
+//	       [-cache-dir DIR] [-server URL]
 //
 // The evaluation runs through the lab, so Ctrl-C cancels cleanly between
 // pipeline stages and -cache-dir reuses NoC characterizations left by any
-// other tool on the same directory.
+// other tool on the same directory. -server runs the evaluation on a
+// hotnocd daemon instead; -cache-dir is then the daemon's business.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os/signal"
 
 	"hotnoc"
+	"hotnoc/client"
 	"hotnoc/internal/report"
 )
 
@@ -30,6 +32,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	noMigEnergy := flag.Bool("nomigenergy", false, "exclude migration energy (ablation)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -40,8 +43,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hotsim:", err)
 		os.Exit(1)
 	}
-	lab := hotnoc.NewLab(hotnoc.WithScale(*scale), hotnoc.WithCacheDir(*cacheDir))
-	outs, err := lab.SweepAll(ctx, []hotnoc.SweepPoint{{
+	session := client.NewSession(*serverURL, *scale, 0, *cacheDir, nil)
+	outs, err := session.SweepAll(ctx, []hotnoc.SweepPoint{{
 		Config:                 *config,
 		Scheme:                 scheme,
 		Blocks:                 *blocks,

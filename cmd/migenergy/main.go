@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	migenergy [-config E] [-scale N] [-workers N] [-cache-dir DIR] [-progress]
+//	migenergy [-config E] [-scale N] [-workers N] [-cache-dir DIR]
+//	          [-server URL] [-progress]
 //
 // The schemes run concurrently on the lab, each scheme's with/without pair
 // shares one NoC characterization, and -cache-dir reuses characterizations
-// across processes.
+// across processes. -server runs the ablation on a hotnocd daemon
+// instead; -workers and -cache-dir are then the daemon's business.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os/signal"
 
 	"hotnoc"
+	"hotnoc/client"
 	"hotnoc/internal/report"
 )
 
@@ -30,25 +33,20 @@ func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := []hotnoc.LabOption{
-		hotnoc.WithScale(*scale),
-		hotnoc.WithWorkers(*workers),
-		hotnoc.WithCacheDir(*cacheDir),
-	}
+	var logEvent func(hotnoc.Event)
 	if *progress {
-		opts = append(opts, hotnoc.WithProgress(func(ev hotnoc.Event) {
-			fmt.Fprintln(os.Stderr, "migenergy:", ev)
-		}))
+		logEvent = func(ev hotnoc.Event) { fmt.Fprintln(os.Stderr, "migenergy:", ev) }
 	}
-	lab := hotnoc.NewLab(opts...)
+	session := client.NewSession(*serverURL, *scale, *workers, *cacheDir, logEvent)
 
-	studies, err := lab.MigrationEnergy(ctx, *config)
+	studies, err := session.MigrationEnergy(ctx, *config)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migenergy:", err)
 		os.Exit(1)

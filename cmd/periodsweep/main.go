@@ -6,12 +6,14 @@
 // Usage:
 //
 //	periodsweep [-config A] [-scheme "x-y shift"] [-blocks 1,4,8] [-scale N]
-//	            [-workers N] [-cache-dir DIR] [-json] [-progress]
+//	            [-workers N] [-cache-dir DIR] [-server URL] [-json] [-progress]
 //
 // All periods share one NoC characterization — only the cheap thermal
 // evaluation runs per period — and with -cache-dir that characterization
 // persists across processes, so a repeated sweep (or one after a figure1
 // run on the same cache) skips the cycle-accurate stage entirely.
+// -server runs the sweep on a hotnocd daemon instead; -workers and
+// -cache-dir are then the daemon's business.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	"hotnoc"
+	"hotnoc/client"
 	"hotnoc/internal/report"
 )
 
@@ -35,6 +38,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
 	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")
 	flag.Parse()
@@ -57,19 +61,13 @@ func main() {
 		blocks = append(blocks, n)
 	}
 
-	opts := []hotnoc.LabOption{
-		hotnoc.WithScale(*scale),
-		hotnoc.WithWorkers(*workers),
-		hotnoc.WithCacheDir(*cacheDir),
-	}
+	var logEvent func(hotnoc.Event)
 	if *progress {
-		opts = append(opts, hotnoc.WithProgress(func(ev hotnoc.Event) {
-			fmt.Fprintln(os.Stderr, "periodsweep:", ev)
-		}))
+		logEvent = func(ev hotnoc.Event) { fmt.Fprintln(os.Stderr, "periodsweep:", ev) }
 	}
-	lab := hotnoc.NewLab(opts...)
+	session := client.NewSession(*serverURL, *scale, *workers, *cacheDir, logEvent)
 
-	pts, err := lab.PeriodSweep(ctx, *config, scheme, blocks)
+	pts, err := session.PeriodSweep(ctx, *config, scheme, blocks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "periodsweep:", err)
 		os.Exit(1)

@@ -1,75 +1,61 @@
 // Command placer runs the thermally-aware static placement for one
 // configuration and shows its effect: the per-PE power profile, the
 // annealed logical-to-physical mapping, and the steady-state temperature
-// map before and after placement.
+// map of the placed workload.
 //
 // Usage:
 //
-//	placer [-config A] [-scale N]
+//	placer [-config A] [-scale N] [-server URL]
 //
-// The build comes from a lab session, so repeated invocations inside one
+// The report comes from a lab session, so repeated invocations inside one
 // process (or library callers holding the same Lab) share the calibrated
-// build cache.
+// build cache. -server fetches the same report from a hotnocd daemon —
+// whose long-lived build cache makes repeated placer runs nearly free —
+// and renders identical output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"hotnoc"
-	"hotnoc/internal/power"
+	"hotnoc/client"
+	"hotnoc/internal/geom"
 	"hotnoc/internal/report"
-	"hotnoc/internal/thermal"
 )
 
 func main() {
 	config := flag.String("config", "A", "configuration letter (A-E)")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+	serverURL := flag.String("server", "", "fetch the report from a hotnocd daemon at this base URL instead of building in process")
 	flag.Parse()
 
-	lab := hotnoc.NewLab(hotnoc.WithScale(*scale))
-	built, err := lab.Build(*config)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "placer:", err)
-		os.Exit(1)
-	}
-	sys := built.System
-	g := sys.Grid
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	// Reconstruct the placed power map by decoding one block.
-	if err := sys.Engine.SetPlacement(sys.InitialPlace); err != nil {
-		fmt.Fprintln(os.Stderr, "placer:", err)
-		os.Exit(1)
-	}
-	sys.Engine.Net.ResetStats()
-	blk, err := sys.Engine.Decode(sys.BlockSource(0))
+	session := client.NewSession(*serverURL, *scale, 0, "", nil)
+	rep, err := session.Placement(ctx, *config)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "placer:", err)
 		os.Exit(1)
 	}
-	dur := float64(blk.Cycles) / sys.ClockHz
-	placedPower := sys.Engine.Net.Act.PowerMap(sys.Energy, dur)
-
-	ss, err := thermal.NewSteadySolver(sys.Therm)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "placer:", err)
-		os.Exit(1)
-	}
+	g := geom.NewGrid(rep.GridW, rep.GridH)
 
 	fmt.Printf("configuration %s — thermally-aware placement\n\n", *config)
 	fmt.Printf("annealed objective: peak %.2f °C, %.0f message-hops, %d accepted moves\n\n",
-		built.PlaceResult.PeakC, built.PlaceResult.CommHops, built.PlaceResult.Accepted)
+		rep.PeakC, rep.CommHops, rep.Accepted)
 
 	tb := report.NewTable("logical PE", "physical block", "coordinate")
-	for l, b := range sys.InitialPlace {
+	for l, b := range rep.Placement {
 		tb.AddRow(l, b, g.Coord(b).String())
 	}
 	fmt.Print(tb.String())
 
-	fmt.Printf("\nplaced power map (total %.1f W):\n", power.Total(placedPower))
-	fmt.Print(report.HeatMap(g.W, g.H, placedPower, "W"))
+	fmt.Printf("\nplaced power map (total %.1f W):\n", rep.TotalPowerW)
+	fmt.Print(report.HeatMap(g.W, g.H, rep.PlacedPowerW, "W"))
 
 	fmt.Println("\nsteady-state temperatures of the placed map (°C):")
-	fmt.Print(report.HeatMap(g.W, g.H, ss.Solve(placedPower), "°C"))
+	fmt.Print(report.HeatMap(g.W, g.H, rep.SteadyTempsC, "°C"))
 }

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	thermalmap [-config E] [-scheme "x-y shift"] [-scale N] [-cache-dir DIR]
+//	           [-server URL]
 //
 // The evaluation runs through the lab, so a -cache-dir shared with the
-// other tools serves the NoC characterization from disk.
+// other tools serves the NoC characterization from disk. -server runs the
+// evaluation on a hotnocd daemon instead; -cache-dir is then the daemon's
+// business.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os/signal"
 
 	"hotnoc"
+	"hotnoc/client"
 	"hotnoc/internal/report"
 )
 
@@ -27,6 +31,7 @@ func main() {
 	schemeName := flag.String("scheme", "x-y shift", "migration scheme")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -37,8 +42,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "thermalmap:", err)
 		os.Exit(1)
 	}
-	lab := hotnoc.NewLab(hotnoc.WithScale(*scale), hotnoc.WithCacheDir(*cacheDir))
-	outs, err := lab.SweepAll(ctx, []hotnoc.SweepPoint{{Config: *config, Scheme: scheme}})
+	session := client.NewSession(*serverURL, *scale, 0, *cacheDir, nil)
+	outs, err := session.SweepAll(ctx, []hotnoc.SweepPoint{{Config: *config, Scheme: scheme}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermalmap:", err)
 		os.Exit(1)

@@ -3,10 +3,49 @@ package hotnoc
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"hotnoc/internal/geom"
 	"hotnoc/internal/report"
 )
+
+// defaultLabs shares one Lab per (scale, workers, cache-dir) across the
+// deprecated free functions, so legacy callers hitting the same
+// parameters benefit from the session's build and characterization caches
+// instead of paying for a fresh Lab on every call. Each shared Lab (and
+// its caches) lives for the rest of the process; callers that vary these
+// parameters across many values and care about memory should hold their
+// own Lab instead — which is the migration the deprecation asks for.
+var (
+	defaultLabsMu sync.Mutex
+	defaultLabs   = map[defaultLabKey]*Lab{}
+)
+
+type defaultLabKey struct {
+	scale, workers int
+	cacheDir       string
+}
+
+// defaultLab returns the shared Lab for (scale, workers, cacheDir),
+// creating it on first use. Parameters are normalized the same way Lab
+// options are, so scale 0 and scale 1 share one Lab.
+func defaultLab(scale, workers int, cacheDir string) *Lab {
+	if scale <= 0 {
+		scale = 1
+	}
+	if workers <= 0 {
+		workers = 0
+	}
+	key := defaultLabKey{scale: scale, workers: workers, cacheDir: cacheDir}
+	defaultLabsMu.Lock()
+	defer defaultLabsMu.Unlock()
+	lab, ok := defaultLabs[key]
+	if !ok {
+		lab = NewLab(WithScale(scale), WithWorkers(workers), WithCacheDir(cacheDir))
+		defaultLabs[key] = lab
+	}
+	return lab
+}
 
 // Figure1Cell is one bar of the paper's Figure 1: one migration scheme on
 // one circuit configuration.
@@ -52,10 +91,55 @@ func RunFigure1(scale int, configs []string) (*Figure1Result, error) {
 // RunFigure1Ctx is RunFigure1 with context cancellation and an explicit
 // worker count (0 = GOMAXPROCS).
 //
-// Deprecated: use Lab.Figure1, which shares the session's build and
-// characterization caches across calls.
+// Deprecated: use Lab.Figure1. RunFigure1Ctx routes through a shared
+// default Lab per (scale, workers), so repeated legacy calls do reuse the
+// build and characterization caches, but the Lab API also streams,
+// persists caches to disk and reports progress.
 func RunFigure1Ctx(ctx context.Context, scale int, configs []string, workers int) (*Figure1Result, error) {
-	return NewLab(WithScale(scale), WithWorkers(workers)).Figure1(ctx, configs)
+	return defaultLab(scale, workers, "").Figure1(ctx, configs)
+}
+
+// Figure1FromOutcomes assembles a Figure1Result from the outcomes of the
+// Figure 1 grid — SweepGrid(configs, Schemes(), nil) — in point order.
+// It is the aggregation Lab.Figure1 applies locally and remote clients
+// apply to outcomes streamed from a hotnocd daemon, so both produce
+// identical results from identical outcomes.
+//
+// Outcomes arrive configuration-major, scheme-minor: one row of
+// len(Schemes()) cells per requested configuration (repeats included).
+// Duplicate configuration names contribute their own rows but are counted
+// once in the per-scheme means, so the §3 averages cannot be skewed by a
+// repeated entry.
+func Figure1FromOutcomes(configs []string, outs []SweepOutcome) *Figure1Result {
+	out := &Figure1Result{MeanReductionC: map[string]float64{}}
+	nSchemes := len(Schemes())
+	sums := map[string]float64{}
+	seen := map[string]bool{}
+	distinct := 0
+	for ri, name := range configs {
+		rowOuts := outs[ri*nSchemes : (ri+1)*nSchemes]
+		row := Figure1Row{Config: name, BasePeakC: rowOuts[0].Built.StaticPeakC}
+		for _, o := range rowOuts {
+			row.Cells = append(row.Cells, Figure1Cell{
+				Scheme:            o.Point.Scheme.Name,
+				ReductionC:        o.Result.ReductionC,
+				MigratedPeakC:     o.Result.MigratedPeakC,
+				ThroughputPenalty: o.Result.ThroughputPenalty,
+			})
+			if !seen[name] {
+				sums[o.Point.Scheme.Name] += o.Result.ReductionC
+			}
+		}
+		if !seen[name] {
+			seen[name] = true
+			distinct++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for scheme, sum := range sums {
+		out.MeanReductionC[scheme] = sum / float64(distinct)
+	}
+	return out
 }
 
 // Table renders the figure as an aligned text table (configurations as
@@ -108,10 +192,32 @@ func RunPeriodSweep(config string, scheme Scheme, blocks []int, scale int) ([]Pe
 // RunPeriodSweepCtx is RunPeriodSweep with context cancellation and an
 // explicit worker count (0 = GOMAXPROCS).
 //
-// Deprecated: use Lab.PeriodSweep, which shares the session's build and
-// characterization caches across calls.
+// Deprecated: use Lab.PeriodSweep. RunPeriodSweepCtx routes through a
+// shared default Lab per (scale, workers), so repeated legacy calls do
+// reuse the build and characterization caches.
 func RunPeriodSweepCtx(ctx context.Context, config string, scheme Scheme, blocks []int, scale, workers int) ([]PeriodPoint, error) {
-	return NewLab(WithScale(scale), WithWorkers(workers)).PeriodSweep(ctx, config, scheme, blocks)
+	return defaultLab(scale, workers, "").PeriodSweep(ctx, config, scheme, blocks)
+}
+
+// PeriodPointsFromOutcomes assembles the migration-period study from the
+// outcomes of a single-configuration, single-scheme period grid in point
+// order. It is the aggregation Lab.PeriodSweep applies locally and remote
+// clients apply to streamed outcomes. PeakRiseC is measured against the
+// first (shortest) period of the grid.
+func PeriodPointsFromOutcomes(outs []SweepOutcome) []PeriodPoint {
+	var out []PeriodPoint
+	for _, o := range outs {
+		out = append(out, PeriodPoint{
+			Blocks:            o.Point.Blocks,
+			PeriodSec:         o.Result.PeriodSec,
+			ThroughputPenalty: o.Result.ThroughputPenalty,
+			PeakC:             o.Result.MigratedPeakC,
+		})
+	}
+	for i := range out {
+		out[i].PeakRiseC = out[i].PeakC - out[0].PeakC
+	}
+	return out
 }
 
 // EnergyStudy quantifies one scheme's reconfiguration energy penalty by
@@ -143,10 +249,52 @@ func RunMigrationEnergy(config string, scale int) ([]EnergyStudy, error) {
 // RunMigrationEnergyCtx is RunMigrationEnergy with context cancellation
 // and an explicit worker count (0 = GOMAXPROCS).
 //
-// Deprecated: use Lab.MigrationEnergy, which shares the session's build
-// and characterization caches across calls.
+// Deprecated: use Lab.MigrationEnergy. RunMigrationEnergyCtx routes
+// through a shared default Lab per (scale, workers), so repeated legacy
+// calls do reuse the build and characterization caches.
 func RunMigrationEnergyCtx(ctx context.Context, config string, scale, workers int) ([]EnergyStudy, error) {
-	return NewLab(WithScale(scale), WithWorkers(workers)).MigrationEnergy(ctx, config)
+	return defaultLab(scale, workers, "").MigrationEnergy(ctx, config)
+}
+
+// MigrationEnergyGrid returns the migration-energy ablation grid for one
+// configuration: every scheme as a with/without-migration-energy pair, in
+// Figure 1 scheme order. Lab.MigrationEnergy and remote clients sweep
+// exactly this grid and aggregate it with EnergyStudiesFromOutcomes.
+func MigrationEnergyGrid(config string) []SweepPoint {
+	var pts []SweepPoint
+	for _, s := range Schemes() {
+		pts = append(pts,
+			SweepPoint{Config: config, Scheme: s},
+			SweepPoint{Config: config, Scheme: s, ExcludeMigrationEnergy: true})
+	}
+	return pts
+}
+
+// EnergyStudiesFromOutcomes assembles the migration-energy ablation from
+// the outcomes of MigrationEnergyGrid in point order. It is the
+// aggregation Lab.MigrationEnergy applies locally and remote clients
+// apply to streamed outcomes.
+func EnergyStudiesFromOutcomes(outs []SweepOutcome) []EnergyStudy {
+	var out []EnergyStudy
+	for i := 0; i < len(outs); i += 2 {
+		with, without := outs[i].Result, outs[i+1].Result
+		var cycles int64
+		for _, leg := range with.Legs {
+			cycles += leg.Migration.Cycles
+		}
+		cycles /= int64(len(with.Legs))
+		out = append(out, EnergyStudy{
+			Scheme:            outs[i].Point.Scheme.Name,
+			MeanWithC:         with.MigratedMeanC,
+			MeanWithoutC:      without.MigratedMeanC,
+			DeltaMeanC:        with.MigratedMeanC - without.MigratedMeanC,
+			ReductionWithC:    with.ReductionC,
+			ReductionWithoutC: without.ReductionC,
+			MigrationEnergyJ:  with.MigrationEnergyJ,
+			MigrationCycles:   cycles,
+		})
+	}
+	return out
 }
 
 // Table1 returns the paper's Table 1 as printable rows, alongside the live

@@ -6,9 +6,11 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hotnoc/internal/core"
 )
@@ -47,8 +49,16 @@ type diskChar struct {
 // results from a warm restart are bitwise identical to a cold run.
 // Corrupt, stale or mismatched disk entries are ignored (and overwritten
 // after recomputation), never fatal.
+//
+// A positive limit bounds the number of files kept in the directory:
+// serving an entry refreshes its modification time, and writing one past
+// the bound evicts the least-recently-used files, so a long-lived service
+// sweeping many scales and schemes cannot grow the directory without
+// bound. The in-memory map is not bounded — live entries are shared and
+// small in number compared with the files a service accretes over months.
 type CharCache struct {
-	dir string
+	dir   string
+	limit int
 
 	mu      sync.Mutex
 	entries map[CharKey]*charEntry
@@ -67,9 +77,10 @@ type charEntry struct {
 }
 
 // NewCharCache returns a cache persisting under dir; an empty dir keeps
-// the cache memory-only.
-func NewCharCache(dir string) *CharCache {
-	return &CharCache{dir: dir, entries: map[CharKey]*charEntry{}}
+// the cache memory-only. A positive limit bounds the file count under
+// dir with least-recently-used eviction; zero means unbounded.
+func NewCharCache(dir string, limit int) *CharCache {
+	return &CharCache{dir: dir, limit: limit, entries: map[CharKey]*charEntry{}}
 }
 
 // Get returns the characterization for key, running compute on first use
@@ -100,7 +111,24 @@ func (c *CharCache) Get(key CharKey, gridN int, compute func() (*core.CharData, 
 		}
 	})
 	hit := (alreadyResolved || e.fromDisk) && e.err == nil
+	if hit && alreadyResolved {
+		// Memory hits must count as use for the on-disk LRU too —
+		// load() touched the file once, but a long-lived service serves
+		// hot entries from memory for months afterwards, and those
+		// entries must not look idle to eviction.
+		c.touch(key)
+	}
 	return e.data, hit, e.err
+}
+
+// touch refreshes a persisted entry's modification time so eviction sees
+// it as recently used. Best effort, like all disk operations here.
+func (c *CharCache) touch(key CharKey) {
+	if c.dir == "" {
+		return
+	}
+	now := time.Now()
+	_ = os.Chtimes(c.path(key), now, now)
 }
 
 // path maps a key to its file under the cache directory. The slugs keep
@@ -152,6 +180,9 @@ func (c *CharCache) load(key CharKey, gridN int) *core.CharData {
 	if err := dc.Data.Validate(gridN); err != nil {
 		return nil
 	}
+	// Touch the file so LRU eviction sees a served entry as recently
+	// used, not as old as its original write.
+	c.touch(key)
 	return &dc.Data
 }
 
@@ -185,5 +216,39 @@ func (c *CharCache) save(key CharKey, gridN int, data *core.CharData) {
 	if err := tmp.Close(); err != nil {
 		return
 	}
-	_ = os.Rename(tmp.Name(), path)
+	if os.Rename(tmp.Name(), path) == nil {
+		c.evict()
+	}
+}
+
+// evict enforces the file-count bound: when more than limit
+// characterization files live under the directory, the oldest-touched
+// ones are removed until the count fits. Like save, eviction is best
+// effort — an unreadable directory or a losing race with a concurrent
+// process is ignored. The file just written is by construction the
+// newest, so it survives its own eviction pass.
+func (c *CharCache) evict() {
+	if c.limit <= 0 {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(c.dir, "char_*.gob"))
+	if err != nil || len(matches) <= c.limit {
+		return
+	}
+	type aged struct {
+		path string
+		mod  time.Time
+	}
+	files := make([]aged, 0, len(matches))
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{path: m, mod: fi.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for i := 0; i < len(files)-c.limit; i++ {
+		_ = os.Remove(files[i].path)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"reflect"
 	"testing"
+	"time"
 
 	"hotnoc/internal/core"
 	"hotnoc/internal/geom"
@@ -45,7 +46,7 @@ func TestCharCacheRoundTrip(t *testing.T) {
 	const n = 9
 	want := fakeChar(n)
 
-	c1 := NewCharCache(dir)
+	c1 := NewCharCache(dir, 0)
 	got, hit, err := c1.Get(key, n, func() (*core.CharData, error) { return want, nil })
 	if err != nil || hit {
 		t.Fatalf("first Get = (hit %v, err %v), want computed", hit, err)
@@ -54,7 +55,7 @@ func TestCharCacheRoundTrip(t *testing.T) {
 		t.Fatal("first Get returned different data")
 	}
 
-	c2 := NewCharCache(dir)
+	c2 := NewCharCache(dir, 0)
 	got2, hit2, err := c2.Get(key, n, func() (*core.CharData, error) {
 		t.Fatal("fresh cache recomputed a persisted entry")
 		return nil, nil
@@ -70,7 +71,7 @@ func TestCharCacheRoundTrip(t *testing.T) {
 // TestCharCacheMemoryHit: the second in-process Get for a key is a hit and
 // does not recompute.
 func TestCharCacheMemoryHit(t *testing.T) {
-	c := NewCharCache("") // memory-only
+	c := NewCharCache("", 0) // memory-only
 	key := CharKey{Config: "B", Scheme: "X-Y Shift", Scale: 1}
 	computes := 0
 	get := func() (*core.CharData, bool, error) {
@@ -96,7 +97,7 @@ func TestCharCacheIgnoresCorruptEntry(t *testing.T) {
 	dir := t.TempDir()
 	key := CharKey{Config: "C", Scheme: "Rot", Scale: 8}
 	const n = 4
-	c := NewCharCache(dir)
+	c := NewCharCache(dir, 0)
 	if err := os.WriteFile(c.path(key), []byte("not a gob stream"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +113,92 @@ func TestCharCacheIgnoresCorruptEntry(t *testing.T) {
 		t.Fatal("corrupt entry corrupted the recomputed result")
 	}
 	// The overwrite must leave a valid entry behind.
-	if _, hit, err := NewCharCache(dir).Get(key, n, func() (*core.CharData, error) {
+	if _, hit, err := NewCharCache(dir, 0).Get(key, n, func() (*core.CharData, error) {
 		t.Fatal("overwritten entry not readable")
 		return nil, nil
 	}); err != nil || !hit {
 		t.Fatalf("after overwrite: (hit %v, err %v)", hit, err)
+	}
+}
+
+// TestCharCacheLRUEviction: with a file limit configured, writing past the
+// bound evicts the least-recently-used entries — and serving an entry from
+// disk refreshes its recency, protecting it from the next eviction pass.
+func TestCharCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	const n, limit = 4, 2
+	k1 := CharKey{Config: "A", Scheme: "Rot", Scale: 8}
+	k2 := CharKey{Config: "B", Scheme: "Rot", Scale: 8}
+	k3 := CharKey{Config: "C", Scheme: "Rot", Scale: 8}
+
+	seed := NewCharCache(dir, limit)
+	for _, k := range []CharKey{k1, k2} {
+		if _, _, err := seed.Get(k, n, func() (*core.CharData, error) { return fakeChar(n), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate both entries so recency is unambiguous regardless of
+	// filesystem timestamp granularity: k1 older than k2.
+	for i, k := range []CharKey{k1, k2} {
+		old := time.Now().Add(-time.Hour * time.Duration(2-i))
+		if err := os.Chtimes(seed.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Serving k1 from disk (fresh cache, so it is a disk load, not a
+	// memory hit) must refresh its mtime past k2's.
+	warm := NewCharCache(dir, limit)
+	if _, hit, err := warm.Get(k1, n, func() (*core.CharData, error) {
+		t.Fatal("persisted entry recomputed")
+		return nil, nil
+	}); err != nil || !hit {
+		t.Fatalf("disk load = (hit %v, err %v)", hit, err)
+	}
+
+	// Writing k3 exceeds the limit; the LRU entry is now k2, not k1.
+	if _, _, err := warm.Get(k3, n, func() (*core.CharData, error) { return fakeChar(n), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(warm.path(k2)); !os.IsNotExist(err) {
+		t.Fatalf("LRU entry k2 survived eviction (err %v)", err)
+	}
+	for _, k := range []CharKey{k1, k3} {
+		if _, err := os.Stat(warm.path(k)); err != nil {
+			t.Fatalf("recently-used entry %v evicted: %v", k, err)
+		}
+	}
+
+	// An evicted key recomputes; the survivors still serve from disk.
+	final := NewCharCache(dir, limit)
+	computed := false
+	if _, hit, err := final.Get(k2, n, func() (*core.CharData, error) {
+		computed = true
+		return fakeChar(n), nil
+	}); err != nil || hit || !computed {
+		t.Fatalf("evicted entry: (hit %v, computed %v, err %v), want recompute", hit, computed, err)
+	}
+}
+
+// TestCharCacheUnlimitedKeepsAll: the default limit of zero never evicts.
+func TestCharCacheUnlimitedKeepsAll(t *testing.T) {
+	dir := t.TempDir()
+	const n = 4
+	c := NewCharCache(dir, 0)
+	keys := []CharKey{
+		{Config: "A", Scheme: "Rot", Scale: 8},
+		{Config: "B", Scheme: "Rot", Scale: 8},
+		{Config: "C", Scheme: "Rot", Scale: 8},
+	}
+	for _, k := range keys {
+		if _, _, err := c.Get(k, n, func() (*core.CharData, error) { return fakeChar(n), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		if _, err := os.Stat(c.path(k)); err != nil {
+			t.Fatalf("unbounded cache evicted %v: %v", k, err)
+		}
 	}
 }
 
@@ -136,7 +218,7 @@ func TestCharCacheIgnoresStaleEntries(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			c := NewCharCache(t.TempDir())
+			c := NewCharCache(t.TempDir(), 0)
 			f, err := os.Create(c.path(key))
 			if err != nil {
 				t.Fatal(err)

@@ -62,6 +62,10 @@ type Options struct {
 	// same directory skips the cycle-accurate stage. Empty keeps the
 	// characterization cache memory-only.
 	CacheDir string
+	// CacheLimit bounds the number of characterization files kept under
+	// CacheDir; least-recently-used entries are evicted once the count
+	// exceeds it. Zero keeps the directory unbounded.
+	CacheLimit int
 	// Progress, when set, receives build/characterize/evaluate events as
 	// the sweep pipeline advances. Delivery is serialized; the callback
 	// must not block for long and must not call back into the runner.
@@ -138,6 +142,15 @@ type Runner struct {
 	// leaves it untouched.
 	decodes atomic.Uint64
 
+	// charHits / charMisses count characterization requests served from
+	// the cross-run cache versus simulated on the NoC.
+	charHits   atomic.Uint64
+	charMisses atomic.Uint64
+
+	// busy gauges workers currently executing a task, for utilization
+	// reporting.
+	busy atomic.Int64
+
 	// progressMu serializes Progress callbacks; emittedBuilds ensures one
 	// start/done event pair per actual build.
 	progressMu    sync.Mutex
@@ -151,7 +164,7 @@ func NewRunner(opts Options) *Runner {
 	return &Runner{
 		opts:          opts,
 		builds:        NewBuildCache(),
-		chars:         NewCharCache(opts.CacheDir),
+		chars:         NewCharCache(opts.CacheDir, opts.CacheLimit),
 		emittedBuilds: map[buildKey]bool{},
 	}
 }
@@ -162,19 +175,52 @@ func NewRunner(opts Options) *Runner {
 // a cache directory) leave the counter unchanged.
 func (r *Runner) Decodes() uint64 { return r.decodes.Load() }
 
-func (r *Runner) emit(ev Event) {
-	if r.opts.Progress == nil {
-		return
+// CacheStats returns how many characterization requests were served from
+// the cross-run cache (memory or disk) versus simulated on the
+// cycle-accurate NoC.
+func (r *Runner) CacheStats() (hits, misses uint64) {
+	return r.charHits.Load(), r.charMisses.Load()
+}
+
+// Workers returns the size of the runner's worker pool.
+func (r *Runner) Workers() int { return r.opts.Workers }
+
+// Scale returns the workload divisor the runner was configured with.
+func (r *Runner) Scale() int { return r.opts.Scale }
+
+// Busy returns how many workers are currently executing a task — a
+// utilization gauge for services multiplexing jobs onto one runner.
+func (r *Runner) Busy() int { return int(r.busy.Load()) }
+
+// emitter merges the runner-wide Progress callback with one call's own
+// progress function into a single serialized sink. Both see every event;
+// delivery order is the same for both.
+func (r *Runner) emitter(progress func(Event)) func(Event) {
+	if r.opts.Progress == nil && progress == nil {
+		return nil
 	}
-	r.progressMu.Lock()
-	defer r.progressMu.Unlock()
-	r.opts.Progress(ev)
+	return func(ev Event) {
+		r.progressMu.Lock()
+		defer r.progressMu.Unlock()
+		if r.opts.Progress != nil {
+			r.opts.Progress(ev)
+		}
+		if progress != nil {
+			progress(ev)
+		}
+	}
+}
+
+func emit(fn func(Event), ev Event) {
+	if fn != nil {
+		fn(ev)
+	}
 }
 
 // builtFor resolves one configuration's calibrated build through the
 // cache, emitting one build event pair the first time the build actually
 // runs.
-func (r *Runner) builtFor(config string) (*chipcfg.Built, error) {
+func (r *Runner) builtFor(config string, prog func(Event)) (*chipcfg.Built, error) {
 	key := buildKey{config: config, scale: r.opts.Scale}
 	first := false
 	r.buildEventsMu.Lock()
@@ -184,14 +230,14 @@ func (r *Runner) builtFor(config string) (*chipcfg.Built, error) {
 	}
 	r.buildEventsMu.Unlock()
 	if first {
-		r.emit(Event{Stage: StageBuildStart, Config: config, Scale: r.opts.Scale, Point: -1})
+		emit(prog, Event{Stage: StageBuildStart, Config: config, Scale: r.opts.Scale, Point: -1})
 	}
 	built, err := r.builds.Get(config, r.opts.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("sim: config %s: %w", config, err)
 	}
 	if first {
-		r.emit(Event{Stage: StageBuildDone, Config: config, Scale: r.opts.Scale, Point: -1})
+		emit(prog, Event{Stage: StageBuildDone, Config: config, Scale: r.opts.Scale, Point: -1})
 	}
 	return built, nil
 }
@@ -199,14 +245,14 @@ func (r *Runner) builtFor(config string) (*chipcfg.Built, error) {
 // charFor resolves one (configuration, scheme) characterization through
 // the cross-run cache, simulating the orbit on the cycle-accurate NoC
 // only on a miss.
-func (r *Runner) charFor(config string, scheme core.Scheme) (*core.CharData, *chipcfg.Built, error) {
-	built, err := r.builtFor(config)
+func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event)) (*core.CharData, *chipcfg.Built, error) {
+	built, err := r.builtFor(config, prog)
 	if err != nil {
 		return nil, nil, err
 	}
 	key := CharKey{Config: config, Scheme: scheme.Name, Scale: r.opts.Scale}
 	data, hit, err := r.chars.Get(key, built.System.Grid.N(), func() (*core.CharData, error) {
-		r.emit(Event{Stage: StageCharacterizeStart, Config: config, Scale: r.opts.Scale,
+		emit(prog, Event{Stage: StageCharacterizeStart, Config: config, Scale: r.opts.Scale,
 			Scheme: scheme.Name, Point: -1})
 		// The characterizing system is a private clone: one System holds
 		// mutable engine, network and I/O state.
@@ -224,7 +270,12 @@ func (r *Runner) charFor(config string, scheme core.Scheme) (*core.CharData, *ch
 	if err != nil {
 		return nil, nil, fmt.Errorf("sim: config %s scheme %s: %w", config, scheme.Name, err)
 	}
-	r.emit(Event{Stage: StageCharacterizeDone, Config: config, Scale: r.opts.Scale,
+	if hit {
+		r.charHits.Add(1)
+	} else {
+		r.charMisses.Add(1)
+	}
+	emit(prog, Event{Stage: StageCharacterizeDone, Config: config, Scale: r.opts.Scale,
 		Scheme: scheme.Name, Point: -1, CacheHit: hit})
 	return data, built, nil
 }
@@ -232,7 +283,7 @@ func (r *Runner) charFor(config string, scheme core.Scheme) (*core.CharData, *ch
 // Built returns the calibrated build for one configuration at the
 // runner's scale, constructing it on first use.
 func (r *Runner) Built(config string) (*chipcfg.Built, error) {
-	return r.builtFor(config)
+	return r.builtFor(config, r.emitter(nil))
 }
 
 // Characterization returns the (configuration, scheme) orbit
@@ -244,7 +295,7 @@ func (r *Runner) Characterization(config string, scheme core.Scheme) (*core.Char
 	if scheme.StepFn == nil {
 		return nil, nil, fmt.Errorf("sim: scheme %q has no step function", scheme.Name)
 	}
-	data, built, err := r.charFor(config, scheme)
+	data, built, err := r.charFor(config, scheme, r.emitter(nil))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -308,6 +359,17 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Outcome, error) {
 // sequence yields one final (zero Outcome, error) pair and stops. An
 // early break cancels outstanding work before returning.
 func (r *Runner) Stream(ctx context.Context, pts []Point) iter.Seq2[Outcome, error] {
+	return r.StreamWith(ctx, pts, nil)
+}
+
+// StreamWith is Stream with a per-call progress callback: progress
+// receives exactly the events this sweep generates, alongside (not
+// instead of) the runner-wide Options.Progress callback. Services
+// multiplexing concurrent jobs onto one runner use it to attribute
+// pipeline events to the job whose sweep triggered them. Delivery is
+// serialized with all other progress callbacks on the runner.
+func (r *Runner) StreamWith(ctx context.Context, pts []Point, progress func(Event)) iter.Seq2[Outcome, error] {
+	prog := r.emitter(progress)
 	return func(yield func(Outcome, error) bool) {
 		if len(pts) == 0 {
 			return
@@ -349,7 +411,10 @@ func (r *Runner) Stream(ctx context.Context, pts []Point) iter.Seq2[Outcome, err
 					if ctx.Err() != nil {
 						return
 					}
-					if err := r.runTask(ctx, t, pts, out, ready); err != nil {
+					r.busy.Add(1)
+					err := r.runTask(ctx, t, pts, out, ready, prog)
+					r.busy.Add(-1)
+					if err != nil {
 						fail(err)
 						return
 					}
@@ -401,8 +466,8 @@ func (r *Runner) Stream(ctx context.Context, pts []Point) iter.Seq2[Outcome, err
 // or cycle-accurate NoC — and evaluates every period/ablation variant of
 // the group on a private System clone, marking each point ready as its
 // outcome lands.
-func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome, ready []chan struct{}) error {
-	data, built, err := r.charFor(t.config, t.scheme)
+func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome, ready []chan struct{}, prog func(Event)) error {
+	data, built, err := r.charFor(t.config, t.scheme, prog)
 	if err != nil {
 		return err
 	}
@@ -429,7 +494,7 @@ func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome
 		}
 		out[idx] = Outcome{Point: p, Built: built, Result: res}
 		close(ready[idx])
-		r.emit(Event{Stage: StageEvaluateDone, Config: p.Config, Scale: r.opts.Scale,
+		emit(prog, Event{Stage: StageEvaluateDone, Config: p.Config, Scale: r.opts.Scale,
 			Scheme: p.Scheme.Name, Point: idx, Blocks: p.Blocks})
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"sync"
 
 	"hotnoc/internal/sim"
 )
@@ -73,6 +74,16 @@ func WithProgress(fn func(Event)) LabOption {
 	return func(o *sim.Options) { o.Progress = fn }
 }
 
+// WithCacheLimit bounds the number of characterization files the cache
+// directory may hold; once exceeded, the least-recently-used entries are
+// evicted. Serving an entry counts as use. Zero (the default) keeps the
+// directory unbounded. The limit only matters with WithCacheDir — a
+// long-lived service sweeping many scales and schemes otherwise accretes
+// files without bound.
+func WithCacheLimit(n int) LabOption {
+	return func(o *sim.Options) { o.CacheLimit = n }
+}
+
 // NewLab creates a session with the given options.
 func NewLab(opts ...LabOption) *Lab {
 	var o sim.Options
@@ -95,6 +106,15 @@ func (l *Lab) Sweep(ctx context.Context, pts []SweepPoint) iter.Seq2[SweepOutcom
 	return l.runner.Stream(ctx, pts)
 }
 
+// SweepWithProgress is Sweep with a per-call progress callback: progress
+// receives exactly the events this sweep generates, alongside (not
+// instead of) any WithProgress callback. A service multiplexing
+// concurrent jobs onto one Lab uses it to attribute pipeline events to
+// the job whose sweep triggered them.
+func (l *Lab) SweepWithProgress(ctx context.Context, pts []SweepPoint, progress func(Event)) iter.Seq2[SweepOutcome, error] {
+	return l.runner.StreamWith(ctx, pts, progress)
+}
+
 // SweepAll is Sweep collected into a slice, for callers that want the
 // whole grid at once.
 func (l *Lab) SweepAll(ctx context.Context, pts []SweepPoint) ([]SweepOutcome, error) {
@@ -115,6 +135,38 @@ func (l *Lab) Build(config string) (*Built, error) {
 // stage.
 func (l *Lab) Decodes() uint64 { return l.runner.Decodes() }
 
+// LabStats is a point-in-time snapshot of a Lab's counters, exported for
+// monitoring (the hotnocd daemon serves it on /v1/stats).
+type LabStats struct {
+	// Scale and Workers echo the Lab's configuration.
+	Scale   int `json:"scale"`
+	Workers int `json:"workers"`
+	// BusyWorkers gauges workers currently executing sweep tasks — a
+	// utilization signal for services multiplexing jobs onto one Lab.
+	BusyWorkers int `json:"busy_workers"`
+	// Decodes counts engine block decodes — the unit of expensive
+	// cycle-accurate NoC work (see Lab.Decodes).
+	Decodes uint64 `json:"decodes"`
+	// CacheHits / CacheMisses count characterization requests served from
+	// the cross-run cache versus simulated on the NoC.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Stats returns a snapshot of the Lab's decode counter, characterization
+// cache hit/miss counters, and worker-pool utilization.
+func (l *Lab) Stats() LabStats {
+	hits, misses := l.runner.CacheStats()
+	return LabStats{
+		Scale:       l.runner.Scale(),
+		Workers:     l.runner.Workers(),
+		BusyWorkers: l.runner.Busy(),
+		Decodes:     l.runner.Decodes(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+}
+
 // Figure1 regenerates Figure 1 of the paper: every migration scheme on
 // every requested circuit configuration (nil = A-E) at the base one-block
 // period. Duplicate configuration names contribute their own rows but are
@@ -129,38 +181,7 @@ func (l *Lab) Figure1(ctx context.Context, configs []string) (*Figure1Result, er
 	if err != nil {
 		return nil, err
 	}
-	// Outcomes arrive in point order: configuration-major, scheme-minor,
-	// one row of len(Schemes()) cells per requested configuration (repeats
-	// included).
-	out := &Figure1Result{MeanReductionC: map[string]float64{}}
-	nSchemes := len(Schemes())
-	sums := map[string]float64{}
-	seen := map[string]bool{}
-	distinct := 0
-	for ri, name := range configs {
-		rowOuts := outs[ri*nSchemes : (ri+1)*nSchemes]
-		row := Figure1Row{Config: name, BasePeakC: rowOuts[0].Built.StaticPeakC}
-		for _, o := range rowOuts {
-			row.Cells = append(row.Cells, Figure1Cell{
-				Scheme:            o.Point.Scheme.Name,
-				ReductionC:        o.Result.ReductionC,
-				MigratedPeakC:     o.Result.MigratedPeakC,
-				ThroughputPenalty: o.Result.ThroughputPenalty,
-			})
-			if !seen[name] {
-				sums[o.Point.Scheme.Name] += o.Result.ReductionC
-			}
-		}
-		if !seen[name] {
-			seen[name] = true
-			distinct++
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	for scheme, sum := range sums {
-		out.MeanReductionC[scheme] = sum / float64(distinct)
-	}
-	return out, nil
+	return Figure1FromOutcomes(configs, outs), nil
 }
 
 // PeriodSweep regenerates the migration-period trade-off on one
@@ -176,55 +197,18 @@ func (l *Lab) PeriodSweep(ctx context.Context, config string, scheme Scheme, blo
 	if err != nil {
 		return nil, err
 	}
-	var out []PeriodPoint
-	for _, o := range outs {
-		out = append(out, PeriodPoint{
-			Blocks:            o.Point.Blocks,
-			PeriodSec:         o.Result.PeriodSec,
-			ThroughputPenalty: o.Result.ThroughputPenalty,
-			PeakC:             o.Result.MigratedPeakC,
-		})
-	}
-	for i := range out {
-		out[i].PeakRiseC = out[i].PeakC - out[0].PeakC
-	}
-	return out, nil
+	return PeriodPointsFromOutcomes(outs), nil
 }
 
 // MigrationEnergy regenerates the migration-energy ablation for every
 // scheme on one configuration (the paper highlights rotation on E). The
 // with/without pair of each scheme shares one NoC characterization.
 func (l *Lab) MigrationEnergy(ctx context.Context, config string) ([]EnergyStudy, error) {
-	var pts []SweepPoint
-	for _, s := range Schemes() {
-		pts = append(pts,
-			SweepPoint{Config: config, Scheme: s},
-			SweepPoint{Config: config, Scheme: s, ExcludeMigrationEnergy: true})
-	}
-	outs, err := l.SweepAll(ctx, pts)
+	outs, err := l.SweepAll(ctx, MigrationEnergyGrid(config))
 	if err != nil {
 		return nil, err
 	}
-	var out []EnergyStudy
-	for i := 0; i < len(outs); i += 2 {
-		with, without := outs[i].Result, outs[i+1].Result
-		var cycles int64
-		for _, leg := range with.Legs {
-			cycles += leg.Migration.Cycles
-		}
-		cycles /= int64(len(with.Legs))
-		out = append(out, EnergyStudy{
-			Scheme:            outs[i].Point.Scheme.Name,
-			MeanWithC:         with.MigratedMeanC,
-			MeanWithoutC:      without.MigratedMeanC,
-			DeltaMeanC:        with.MigratedMeanC - without.MigratedMeanC,
-			ReductionWithC:    with.ReductionC,
-			ReductionWithoutC: without.ReductionC,
-			MigrationEnergyJ:  with.MigrationEnergyJ,
-			MigrationCycles:   cycles,
-		})
-	}
-	return out, nil
+	return EnergyStudiesFromOutcomes(outs), nil
 }
 
 // Reactive evaluates threshold-triggered migration configurations on one
@@ -232,38 +216,96 @@ func (l *Lab) MigrationEnergy(ctx context.Context, config string) ([]EnergyStudy
 // characterization — served from the Lab's cross-run cache when available
 // — so a reactive parameter sweep (trigger thresholds, sensor
 // quantisations, horizons) pays for each orbit once, exactly as periodic
-// period sweeps do. Results are bitwise identical to the fused
-// System.RunReactive.
+// period sweeps do. The evaluations themselves — transient thermal
+// integrations, the dominant cost once the orbit is cached — run
+// concurrently on the Lab's worker pool, each worker evaluating on its
+// own System clone. Results are returned in input order and are bitwise
+// identical to the fused System.RunReactive.
 func (l *Lab) Reactive(ctx context.Context, config string, cfgs []ReactiveConfig) ([]ReactiveResult, error) {
-	out := make([]ReactiveResult, len(cfgs))
-	// One evaluation system per scheme: EvaluateReactive reuses its cached
-	// thermal factorisations across the scheme's configs.
-	systems := map[string]*System{}
-	chars := map[string]*Characterization{}
 	for i, cfg := range cfgs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		if cfg.Scheme.StepFn == nil {
 			return nil, fmt.Errorf("hotnoc: reactive config %d has no migration scheme", i)
 		}
-		name := cfg.Scheme.Name
-		if chars[name] == nil {
-			ch, built, err := l.runner.Characterization(config, cfg.Scheme)
-			if err != nil {
-				return nil, err
+	}
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]ReactiveResult, len(cfgs))
+	workers := min(l.runner.Workers(), len(cfgs))
+	idxCh := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		failOnce sync.Once
+		failErr  error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker owns one System clone per scheme:
+			// EvaluateReactive reuses its cached thermal factorisations
+			// across the scheme's configs, and a System must not be
+			// shared across goroutines.
+			type unit struct {
+				sys *System
+				ch  *Characterization
 			}
-			sys, err := built.System.Clone()
-			if err != nil {
-				return nil, fmt.Errorf("hotnoc: config %s: clone: %w", config, err)
+			units := map[string]unit{}
+			for i := range idxCh {
+				if ctx.Err() != nil {
+					return
+				}
+				cfg := cfgs[i]
+				name := cfg.Scheme.Name
+				u, ok := units[name]
+				if !ok {
+					ch, built, err := l.runner.Characterization(config, cfg.Scheme)
+					if err != nil {
+						fail(err)
+						return
+					}
+					sys, err := built.System.Clone()
+					if err != nil {
+						fail(fmt.Errorf("hotnoc: config %s: clone: %w", config, err))
+						return
+					}
+					u = unit{sys: sys, ch: ch}
+					units[name] = u
+				}
+				res, err := u.sys.EvaluateReactive(u.ch, cfg)
+				if err != nil {
+					fail(fmt.Errorf("hotnoc: reactive config %d (%s): %w", i, name, err))
+					return
+				}
+				out[i] = res
 			}
-			chars[name], systems[name] = ch, sys
+		}()
+	}
+feed:
+	for i := range cfgs {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
 		}
-		res, err := systems[name].EvaluateReactive(chars[name], cfg)
-		if err != nil {
-			return nil, fmt.Errorf("hotnoc: reactive config %d (%s): %w", i, name, err)
-		}
-		out[i] = res
+	}
+	close(idxCh)
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

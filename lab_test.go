@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -249,6 +250,121 @@ func TestLabReactiveSharesOrbit(t *testing.T) {
 		if !reflect.DeepEqual(got[i], want) {
 			t.Fatalf("reactive config %d differs from fused RunReactive", i)
 		}
+	}
+}
+
+// TestLabReactiveParallelMatchesSerial: reactive evaluations run on the
+// worker pool, mixing schemes, and still reproduce the fused
+// System.RunReactive bit for bit in input order — determinism survives
+// the parallelism.
+func TestLabReactiveParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	lab := NewLab(WithScale(testScale), WithWorkers(4))
+
+	cfgs := []ReactiveConfig{
+		{Scheme: XYShift(), TriggerC: 84, SimBlocks: 200, WarmupBlocks: 100},
+		{Scheme: Rot(), TriggerC: 83, SimBlocks: 200, WarmupBlocks: 100},
+		{Scheme: XYShift(), TriggerC: 82, SimBlocks: 200, WarmupBlocks: 100},
+		{Scheme: Rot(), TriggerC: 85, SimBlocks: 200, WarmupBlocks: 100},
+		{Scheme: XYShift(), TriggerC: 86, SimBlocks: 200, WarmupBlocks: 100},
+	}
+	got, err := lab.Reactive(ctx, "A", cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfgs) {
+		t.Fatalf("%d results for %d configs", len(got), len(cfgs))
+	}
+
+	built, err := BuildConfig("A", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want, err := built.System.RunReactive(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("reactive config %d differs from fused RunReactive", i)
+		}
+	}
+}
+
+// TestLabReactiveValidation: a config without a scheme fails fast, naming
+// its index, before any work starts.
+func TestLabReactiveValidation(t *testing.T) {
+	lab := NewLab(WithScale(testScale))
+	_, err := lab.Reactive(context.Background(), "A", []ReactiveConfig{
+		{Scheme: XYShift(), TriggerC: 84, SimBlocks: 100, WarmupBlocks: 50},
+		{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "config 1") {
+		t.Fatalf("missing scheme not rejected (err %v)", err)
+	}
+	if lab.Decodes() != 0 {
+		t.Fatal("validation failure still performed NoC work")
+	}
+}
+
+// TestDeprecatedWrappersShareDefaultLab: the deprecated free functions
+// route repeated calls through one shared Lab per (scale, workers), so
+// the second call performs zero NoC decodes.
+func TestDeprecatedWrappersShareDefaultLab(t *testing.T) {
+	if defaultLab(testScale, 0, "") != defaultLab(testScale, 0, "") {
+		t.Fatal("defaultLab does not share instances")
+	}
+	shared := defaultLab(testScale, 0, "")
+	if _, err := RunPeriodSweep("E", XMirror(), []int{1, 2}, testScale); err != nil {
+		t.Fatal(err)
+	}
+	decodes := shared.Decodes()
+	if decodes == 0 {
+		t.Fatal("wrapper did not route through the shared default Lab")
+	}
+	if _, err := RunPeriodSweep("E", XMirror(), []int{1, 2, 4}, testScale); err != nil {
+		t.Fatal(err)
+	}
+	if got := shared.Decodes(); got != decodes {
+		t.Fatalf("second wrapper call performed %d extra decodes, want 0", got-decodes)
+	}
+	// The deprecated Sweep free function shares the same Lab.
+	if _, err := Sweep(context.Background(),
+		[]SweepPoint{{Config: "E", Scheme: XMirror(), Blocks: 8}},
+		SweepOptions{Scale: testScale}); err != nil {
+		t.Fatal(err)
+	}
+	if got := shared.Decodes(); got != decodes {
+		t.Fatalf("deprecated Sweep performed %d extra decodes, want 0", got-decodes)
+	}
+}
+
+// TestLabStats: the stats snapshot exposes decode and cache counters
+// consistent with a sweep's actual work.
+func TestLabStats(t *testing.T) {
+	lab := NewLab(WithScale(testScale))
+	pts := SweepGrid([]string{"B"}, []Scheme{XYShift(), Rot()}, []int{1, 4})
+	if _, err := lab.SweepAll(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	st := lab.Stats()
+	if st.Scale != testScale {
+		t.Fatalf("stats scale %d, want %d", st.Scale, testScale)
+	}
+	if st.Workers < 1 {
+		t.Fatalf("stats workers %d, want >= 1", st.Workers)
+	}
+	if st.Decodes != lab.Decodes() || st.Decodes == 0 {
+		t.Fatalf("stats decodes %d, lab decodes %d", st.Decodes, lab.Decodes())
+	}
+	if st.CacheMisses != 2 || st.CacheHits != 0 {
+		t.Fatalf("cold sweep counted %d misses / %d hits, want 2 / 0", st.CacheMisses, st.CacheHits)
+	}
+	if _, err := lab.SweepAll(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if st := lab.Stats(); st.CacheHits != 2 {
+		t.Fatalf("warm sweep counted %d hits, want 2", st.CacheHits)
 	}
 }
 

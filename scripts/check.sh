@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # check.sh mirrors CI locally: build, vet, tests, race detector over the
-# cache/streaming paths, staticcheck when installed, and a one-iteration
-# bench smoke over the scaled-down packages so bench code cannot rot.
+# cache/streaming/service paths, the hotnocd service smoke, staticcheck
+# when installed, and a one-iteration bench smoke over the scaled-down
+# packages so bench code cannot rot.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,7 +10,8 @@ cd "$(dirname "$0")/.."
 echo "== go build" && go build ./...
 echo "== go vet" && go vet ./...
 echo "== go test" && go test ./...
-echo "== go test -race (cache + streaming paths)" && go test -race ./internal/sim ./internal/core .
+echo "== go test -race (cache + streaming + service paths)" && go test -race ./internal/sim ./internal/core ./server .
+echo "== service smoke (hotnocd + figure1 -server)" && sh scripts/service_smoke.sh
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck" && staticcheck ./...

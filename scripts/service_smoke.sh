@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# service_smoke.sh: end-to-end smoke of the hotnocd service path. Builds
+# hotnocd and figure1, starts a daemon on a scratch port with a scratch
+# cache dir, runs the figure remotely, and requires the JSON to be
+# byte-identical to the in-process run — then runs it remotely again to
+# prove the daemon's characterization cache serves the repeat. CI runs
+# this as the service-smoke job; check.sh mirrors it locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/hotnocd" ./cmd/hotnocd
+go build -o "$workdir/figure1" ./cmd/figure1
+
+addr="127.0.0.1:$((20000 + $$ % 10000))"
+"$workdir/hotnocd" -addr "$addr" -cache-dir "$workdir/cache" >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+echo "== figure1 in process"
+"$workdir/figure1" -scale 8 -configs A,E -json >"$workdir/local.json"
+
+echo "== figure1 -server http://$addr (cold daemon)"
+ok=0
+i=0
+while [ "$i" -lt 50 ]; do
+    if "$workdir/figure1" -server "http://$addr" -scale 8 -configs A,E -json \
+        >"$workdir/remote.json" 2>"$workdir/remote.err"; then
+        ok=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "service smoke: daemon never served figure1" >&2
+    cat "$workdir/remote.err" "$workdir/daemon.log" >&2
+    exit 1
+fi
+
+if ! cmp -s "$workdir/local.json" "$workdir/remote.json"; then
+    echo "service smoke: remote JSON differs from in-process run" >&2
+    diff "$workdir/local.json" "$workdir/remote.json" >&2 || true
+    exit 1
+fi
+
+echo "== figure1 -server http://$addr (warm daemon cache)"
+"$workdir/figure1" -server "http://$addr" -scale 8 -configs A,E -json >"$workdir/remote2.json"
+if ! cmp -s "$workdir/local.json" "$workdir/remote2.json"; then
+    echo "service smoke: warm remote JSON differs" >&2
+    exit 1
+fi
+
+echo "service smoke ok (byte-identical local/remote figure1)"

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"hotnoc/server/wire"
+)
+
+// message is one SSE frame of a job's event log: the event name plus its
+// already-marshaled JSON payload. Marshaling once at append time means a
+// job with many subscribers serializes each event exactly once.
+type message struct {
+	event string
+	data  []byte
+}
+
+// job is one sweep accepted by the daemon. The sweep runs in its own
+// goroutine the moment the job is created; every event it produces is
+// appended to an in-memory log, and each SSE subscriber replays the log
+// from the start before following live appends — so a client that
+// connects (or reconnects) late still sees every outcome, in point order.
+type job struct {
+	id        string
+	scale     int
+	points    int
+	createdAt time.Time
+	cancel    context.CancelFunc
+
+	mu     sync.Mutex
+	msgs   []message
+	notify chan struct{}
+	state  string
+	done   int
+	errMsg string
+}
+
+func newJob(id string, scale, points int, cancel context.CancelFunc) *job {
+	return &job{
+		id:        id,
+		scale:     scale,
+		points:    points,
+		createdAt: time.Now(),
+		cancel:    cancel,
+		notify:    make(chan struct{}),
+		state:     wire.JobRunning,
+	}
+}
+
+// append marshals v and adds it to the event log, waking subscribers.
+func (j *job) append(event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Wire payloads are plain data; a marshal failure is a
+		// programming error, but dropping the event beats wedging the job.
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(event, data)
+}
+
+func (j *job) appendLocked(event string, data []byte) {
+	j.msgs = append(j.msgs, message{event: event, data: data})
+	if event == wire.EventOutcome {
+		j.done++
+	}
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// finish marks the job done and appends the terminal done event. State
+// and terminal event change under one lock acquisition, so a subscriber
+// can never observe a terminal state with the terminal event still
+// missing from the log (it would close its stream early).
+func (j *job) finish() {
+	data, _ := json.Marshal(struct{}{})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = wire.JobDone
+	j.appendLocked(wire.EventDone, data)
+}
+
+// fail marks the job failed or canceled and appends the terminal error
+// event, atomically like finish.
+func (j *job) fail(state string, err error) {
+	data, merr := json.Marshal(wire.ErrorMsg{Error: err.Error()})
+	if merr != nil {
+		data = []byte(`{"error":"internal error"}`)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.errMsg = err.Error()
+	j.appendLocked(wire.EventError, data)
+}
+
+// finished reports whether the job reached a terminal state.
+func (j *job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state != wire.JobRunning
+}
+
+// snapshot returns the job's wire description.
+func (j *job) snapshot() wire.JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return wire.JobInfo{
+		ID:        j.id,
+		State:     j.state,
+		Scale:     j.scale,
+		Points:    j.points,
+		Done:      j.done,
+		CreatedAt: j.createdAt,
+		Error:     j.errMsg,
+	}
+}
+
+// next returns the log suffix starting at i, whether the log is complete
+// (terminal state reached), and a channel closed on the next append.
+func (j *job) next(i int) (batch []message, complete bool, more <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	batch = j.msgs[i:]
+	complete = j.state != wire.JobRunning && i+len(batch) == len(j.msgs)
+	return batch, complete, j.notify
+}

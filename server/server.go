@@ -1,0 +1,394 @@
+// Package server implements hotnocd's HTTP service: the hotnoc.Lab
+// session API exposed over HTTP/JSON with server-sent-event streaming, so
+// many clients share one long-lived Lab — one build cache, one cross-run
+// characterization cache, one worker pool — instead of each paying for
+// the cycle-accurate NoC stage themselves.
+//
+// Endpoints:
+//
+//	POST   /v1/sweeps             submit a grid; returns a job id
+//	GET    /v1/sweeps/{id}/events SSE stream: progress + outcomes in point order
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          one job's state
+//	DELETE /v1/jobs/{id}          cancel a running job / forget a finished one
+//	GET    /v1/builds/{config}    placement report (query: scale)
+//	GET    /v1/stats              decode counter, cache hits, worker utilization
+//	GET    /healthz               liveness
+//
+// A job starts executing the moment it is accepted; the SSE stream
+// replays the job's full event log on (re)connect before following live
+// events, so subscribing is race-free. The daemon keeps one Lab per
+// scale: concurrent jobs over the same grid points share builds and
+// characterizations through the Lab's singleflight caches, which is the
+// whole point of running this as a service.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strconv"
+	"sync"
+
+	"hotnoc"
+	"hotnoc/server/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheDir persists NoC characterizations across restarts; empty
+	// keeps the characterization caches memory-only.
+	CacheDir string
+	// CacheLimit bounds the characterization file count under CacheDir
+	// with LRU eviction; zero means unbounded.
+	CacheLimit int
+	// Workers bounds each Lab's worker pool (0 = one per core). All jobs
+	// at one scale multiplex onto the same pool.
+	Workers int
+}
+
+// Server serves Lab sweeps over HTTP. Create one with New, mount it as an
+// http.Handler, and call Shutdown to drain in-flight jobs before exit.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	jobsWG sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	labs     map[int]*hotnoc.Lab
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+}
+
+// maxScale bounds the client-supplied workload divisor. The paper runs at
+// scale 1 and the smoke tests at 8; anything past this is degenerate and
+// would only serve to make the daemon instantiate unbounded Labs.
+const maxScale = 256
+
+// New returns a server with no Labs instantiated yet; each scale's Lab is
+// created on first use and lives for the server's lifetime.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		labs: map[int]*hotnoc.Lab{},
+		jobs: map[string]*job{},
+	}
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleCreateSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/builds/{config}", s.handleBuild)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new sweeps are rejected with 503 while
+// in-flight jobs run to completion. If ctx expires first, the remaining
+// jobs are canceled and Shutdown returns ctx.Err after they unwind.
+// Event streams of finished jobs keep serving until the HTTP server
+// itself closes them. Setting the draining flag and registering a job
+// share one mutex, so no job can slip in after Shutdown starts waiting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// labFor returns the shared Lab for one scale, creating it on first use.
+func (s *Server) labFor(scale int) *hotnoc.Lab {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lab, ok := s.labs[scale]
+	if !ok {
+		lab = hotnoc.NewLab(
+			hotnoc.WithScale(scale),
+			hotnoc.WithWorkers(s.cfg.Workers),
+			hotnoc.WithCacheDir(s.cfg.CacheDir),
+			hotnoc.WithCacheLimit(s.cfg.CacheLimit),
+		)
+		s.labs[scale] = lab
+	}
+	return lab
+}
+
+func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
+	var req wire.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep has no points")
+		return
+	}
+	scale := req.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	if scale > maxScale {
+		writeError(w, http.StatusBadRequest, "scale %d exceeds the maximum of %d", scale, maxScale)
+		return
+	}
+	pts := make([]hotnoc.SweepPoint, len(req.Points))
+	for i, ps := range req.Points {
+		p, err := ps.Point()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+		if _, err := hotnoc.ConfigByName(p.Config); err != nil {
+			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+		if p.Blocks < 0 {
+			writeError(w, http.StatusBadRequest, "point %d: negative migration period %d blocks", i, p.Blocks)
+			return
+		}
+		pts[i] = p
+	}
+
+	lab := s.labFor(scale)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := newJob(id, scale, len(pts), cancel)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	// Registering with the WaitGroup under the same lock that Shutdown
+	// takes to set draining guarantees Shutdown's Wait sees this job.
+	s.jobsWG.Add(1)
+	s.mu.Unlock()
+
+	go s.runJob(ctx, j, lab, pts)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, wire.SweepCreated{ID: id, Points: len(pts)})
+}
+
+// runJob drives one sweep to completion, appending every progress event
+// and outcome to the job's log. It owns the job's terminal state.
+func (s *Server) runJob(ctx context.Context, j *job, lab *hotnoc.Lab, pts []hotnoc.SweepPoint) {
+	defer s.jobsWG.Done()
+	defer j.cancel()
+	idx := 0
+	progress := func(ev hotnoc.Event) {
+		j.append(wire.EventProgress, wire.FromEvent(ev))
+	}
+	for out, err := range lab.SweepWithProgress(ctx, pts, progress) {
+		if err != nil {
+			state := wire.JobFailed
+			if errors.Is(err, context.Canceled) {
+				state = wire.JobCanceled
+			}
+			j.fail(state, err)
+			return
+		}
+		j.append(wire.EventOutcome, wire.FromOutcome(idx, out))
+		idx++
+	}
+	j.finish()
+}
+
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	i := 0
+	for {
+		batch, complete, more := j.next(i)
+		for _, m := range batch {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", m.event, m.data); err != nil {
+				return
+			}
+		}
+		if len(batch) > 0 {
+			flusher.Flush()
+			i += len(batch)
+		}
+		if complete {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	list := wire.JobList{Jobs: make([]wire.JobInfo, len(jobs))}
+	for i, j := range jobs {
+		list.Jobs[i] = j.snapshot()
+	}
+	writeJSON(w, list)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, j.snapshot())
+}
+
+// handleCancelJob cancels a running job's context; the sweep unwinds and
+// the job reaches the canceled state asynchronously (its event stream
+// terminates with an error event). Deleting a finished job forgets it.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.jobByID(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if j.finished() {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = slices.DeleteFunc(s.order, func(o string) bool { return o == id })
+		s.mu.Unlock()
+	} else {
+		j.cancel()
+	}
+	writeJSON(w, j.snapshot())
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	config := r.PathValue("config")
+	if _, err := hotnoc.ConfigByName(config); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	scale := 1
+	if q := r.URL.Query().Get("scale"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > maxScale {
+			writeError(w, http.StatusBadRequest, "bad scale %q (want 1..%d)", q, maxScale)
+			return
+		}
+		scale = n
+	}
+	rep, err := s.labFor(scale).Placement(r.Context(), config)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	scales := make([]int, 0, len(s.labs))
+	for scale := range s.labs {
+		scales = append(scales, scale)
+	}
+	sort.Ints(scales)
+	labs := make([]hotnoc.LabStats, 0, len(scales))
+	for _, scale := range scales {
+		labs = append(labs, s.labs[scale].Stats())
+	}
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	var counts wire.JobCounts
+	for _, j := range jobs {
+		counts.Total++
+		switch j.snapshot().State {
+		case wire.JobRunning:
+			counts.Running++
+		case wire.JobDone:
+			counts.Done++
+		case wire.JobFailed:
+			counts.Failed++
+		case wire.JobCanceled:
+			counts.Canceled++
+		}
+	}
+	writeJSON(w, wire.Stats{Jobs: counts, Labs: labs})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.ErrorMsg{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,415 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hotnoc"
+	"hotnoc/client"
+	"hotnoc/server/wire"
+)
+
+// testScale matches the smoke scale the rest of the repo tests at.
+const testScale = 8
+
+func testServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts.URL
+}
+
+func testGrid() []hotnoc.SweepPoint {
+	return hotnoc.SweepGrid([]string{"A", "E"}, []hotnoc.Scheme{hotnoc.XYShift(), hotnoc.Rot()}, []int{1, 4})
+}
+
+// TestConcurrentClientsShareCharacterization is the service half of the
+// acceptance criterion: two concurrent remote sweeps over the same grid
+// trigger exactly one NoC characterization per (config, scheme, scale) —
+// the daemon's Lab singleflights them — and both clients receive
+// outcomes identical to an in-process run.
+func TestConcurrentClientsShareCharacterization(t *testing.T) {
+	srv, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	pts := testGrid()
+
+	const clients = 2
+	outs := make([][]hotnoc.SweepOutcome, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = c.SweepAll(ctx, pts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	for i := 1; i < clients; i++ {
+		if len(outs[i]) != len(pts) {
+			t.Fatalf("client %d received %d outcomes, want %d", i, len(outs[i]), len(pts))
+		}
+		for j := range outs[0] {
+			if !reflect.DeepEqual(outs[0][j].Result, outs[i][j].Result) {
+				t.Fatalf("clients 0 and %d disagree on point %d", i, j)
+			}
+		}
+	}
+
+	// The same grid in process, swept once, sets the bar: the daemon's
+	// decode counter must match it exactly — the concurrent second sweep
+	// triggered zero extra NoC characterizations.
+	local := hotnoc.NewLab(hotnoc.WithScale(testScale))
+	localOuts, err := local.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := srv.labFor(testScale).Stats()
+	if stats.Decodes != local.Decodes() {
+		t.Fatalf("daemon performed %d NoC decodes for %d concurrent sweeps, want %d (one characterization per config+scheme)",
+			stats.Decodes, clients, local.Decodes())
+	}
+	// 2 configs x 2 schemes = 4 distinct characterizations, requested
+	// once per client.
+	if got := stats.CacheHits + stats.CacheMisses; got != clients*4 {
+		t.Fatalf("%d characterization requests recorded, want %d", got, clients*4)
+	}
+
+	// And the remote outcomes match the in-process run bit for bit.
+	for j := range localOuts {
+		if !reflect.DeepEqual(localOuts[j].Result, outs[0][j].Result) {
+			t.Fatalf("remote point %d differs from in-process run", j)
+		}
+	}
+}
+
+// TestSSEOrderingAndProgress: outcomes stream in point order with
+// strictly incrementing indices, the metadata Built is shared per
+// configuration, and progress events arrive alongside.
+func TestSSEOrderingAndProgress(t *testing.T) {
+	_, url := testServer(t, Config{})
+	var mu sync.Mutex
+	counts := map[hotnoc.SweepStage]int{}
+	c := client.New(url,
+		client.WithScale(testScale),
+		client.WithProgress(func(ev hotnoc.Event) {
+			mu.Lock()
+			counts[ev.Stage]++
+			mu.Unlock()
+		}))
+
+	pts := testGrid()
+	i := 0
+	builts := map[string]*hotnoc.Built{}
+	for out, err := range c.Sweep(context.Background(), pts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Point.Config != pts[i].Config || out.Point.Scheme.Name != pts[i].Scheme.Name ||
+			out.Point.Blocks != pts[i].Blocks {
+			t.Fatalf("stream position %d carries %s/%s/b%d, want %s/%s/b%d", i,
+				out.Point.Config, out.Point.Scheme.Name, out.Point.Blocks,
+				pts[i].Config, pts[i].Scheme.Name, pts[i].Blocks)
+		}
+		if b, ok := builts[out.Point.Config]; ok && b != out.Built {
+			t.Fatalf("outcomes of config %s do not share one Built", out.Point.Config)
+		}
+		builts[out.Point.Config] = out.Built
+		if out.Built.StaticPeakC == 0 || out.Built.System.Grid.N() == 0 {
+			t.Fatalf("outcome %d carries an empty Built summary: %+v", i, out.Built)
+		}
+		i++
+	}
+	if i != len(pts) {
+		t.Fatalf("stream yielded %d outcomes, want %d", i, len(pts))
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[hotnoc.StageEvaluateDone] != len(pts) {
+		t.Fatalf("%d evaluate progress events, want %d", counts[hotnoc.StageEvaluateDone], len(pts))
+	}
+	if counts[hotnoc.StageCharacterizeDone] != 4 {
+		t.Fatalf("%d characterize-done progress events, want 4", counts[hotnoc.StageCharacterizeDone])
+	}
+}
+
+// TestLateSubscriberReplays: an events stream opened after the job
+// finished still replays every outcome in order, terminated by a done
+// event — reconnecting clients lose nothing.
+func TestLateSubscriberReplays(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	pts := testGrid()[:2]
+
+	id, err := c.StartSweep(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, id, wire.JobDone)
+
+	resp, err := http.Get(url + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q, want text/event-stream", ct)
+	}
+	var outcomes, dones int
+	lastIndex := -1
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:") && event == wire.EventOutcome:
+			var m wire.OutcomeMsg
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data:")), &m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Index != lastIndex+1 {
+				t.Fatalf("replayed outcome %d after %d", m.Index, lastIndex)
+			}
+			lastIndex = m.Index
+			outcomes++
+		case strings.HasPrefix(line, "data:") && event == wire.EventDone:
+			dones++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if outcomes != len(pts) || dones != 1 {
+		t.Fatalf("replay delivered %d outcomes and %d done events, want %d and 1",
+			outcomes, dones, len(pts))
+	}
+}
+
+// TestJobCancelMidSweep: DELETE on a running job cancels its context; the
+// stream terminates with an error and the job lands in the canceled
+// state without finishing its grid.
+func TestJobCancelMidSweep(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+
+	// A wide grid at a slower scale keeps the job running long enough to
+	// cancel it deterministically.
+	pts := hotnoc.SweepGrid([]string{"A", "B", "C", "D", "E"}, hotnoc.Schemes(), []int{1, 2, 4, 8})
+	id, err := c.StartSweep(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CancelJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	info := waitForTerminal(t, c, id)
+	if info.State != wire.JobCanceled {
+		t.Fatalf("job state %q after cancel, want %q", info.State, wire.JobCanceled)
+	}
+	if info.Done == len(pts) {
+		t.Fatal("job delivered its whole grid despite cancellation")
+	}
+}
+
+// TestGracefulShutdownDrains: Shutdown lets an in-flight job finish and
+// rejects new sweeps while draining.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	pts := testGrid()
+
+	id, err := c.StartSweep(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(ctx, time.Minute)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(sctx)
+	}()
+
+	// New sweeps must be rejected once draining has begun. Shutdown flips
+	// the flag before waiting, but give the goroutine a moment to run.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.StartSweep(ctx, pts); err != nil {
+			if !strings.Contains(err.Error(), "draining") {
+				t.Fatalf("draining server rejected sweep with %v, want a draining error", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining server kept accepting sweeps")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+	info, err := c.Job(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != wire.JobDone || info.Done != len(pts) {
+		t.Fatalf("drained job ended %q with %d/%d outcomes, want done with all",
+			info.State, info.Done, len(pts))
+	}
+}
+
+// TestFigure1RemoteParity: client.Figure1 marshals to byte-identical JSON
+// as Lab.Figure1 at the same scale — the CLI acceptance criterion,
+// without the process plumbing.
+func TestFigure1RemoteParity(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	configs := []string{"A", "E"}
+
+	remote, err := c.Figure1(ctx, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hotnoc.NewLab(hotnoc.WithScale(testScale)).Figure1(ctx, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rj) != string(lj) {
+		t.Fatalf("remote Figure1 JSON differs from in-process run:\nremote %s\nlocal  %s", rj, lj)
+	}
+}
+
+// TestPlacementRemoteParity: the daemon's placement report matches the
+// Lab's bit for bit.
+func TestPlacementRemoteParity(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+
+	remote, err := c.Placement(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hotnoc.NewLab(hotnoc.WithScale(testScale)).Placement(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remote, local) {
+		t.Fatal("remote placement report differs from in-process run")
+	}
+}
+
+// TestSweepValidation: malformed grids are rejected at submission, not as
+// failed jobs.
+func TestSweepValidation(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+
+	if _, err := c.StartSweep(ctx, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	bad := []hotnoc.SweepPoint{{Config: "Z", Scheme: hotnoc.Rot()}}
+	if _, err := c.StartSweep(ctx, bad); err == nil || !strings.Contains(err.Error(), "point 0") {
+		t.Fatalf("unknown config accepted (err %v)", err)
+	}
+	custom := []hotnoc.SweepPoint{{Config: "A", Scheme: hotnoc.Scheme{Name: "bespoke"}}}
+	if _, err := c.StartSweep(ctx, custom); err == nil || !strings.Contains(err.Error(), "bespoke") {
+		t.Fatalf("custom scheme crossed the wire (err %v)", err)
+	}
+}
+
+// TestEarlyBreakCancelsJob: a consumer breaking out of the sweep iterator
+// cancels the server-side job instead of leaving it simulating for
+// nobody.
+func TestEarlyBreakCancelsJob(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	pts := hotnoc.SweepGrid([]string{"A", "B", "C", "D", "E"}, hotnoc.Schemes(), []int{1, 2, 4, 8})
+
+	for range c.Sweep(ctx, pts) {
+		break
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs registered, want 1", len(jobs))
+	}
+	info := waitForTerminal(t, c, jobs[0].ID)
+	if info.State == wire.JobRunning {
+		t.Fatalf("job still running after consumer broke early")
+	}
+}
+
+// waitForState polls until the job reaches state or the test times out.
+func waitForState(t *testing.T, c *client.Client, id, state string) wire.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		info, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == state {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q waiting for %q", id, info.State, state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitForTerminal polls until the job leaves the running state.
+func waitForTerminal(t *testing.T, c *client.Client, id string) wire.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		info, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != wire.JobRunning {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never left the running state", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

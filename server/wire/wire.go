@@ -1,0 +1,230 @@
+// Package wire defines the JSON/SSE protocol spoken between the hotnocd
+// daemon (hotnoc/server) and its clients (hotnoc/client): request and
+// response bodies for the REST endpoints and the event payloads of the
+// sweep SSE stream.
+//
+// Numbers survive the wire bit for bit: encoding/json emits float64 in
+// the shortest form that round-trips exactly, so outcomes streamed from a
+// daemon are bitwise identical to outcomes computed in process — the
+// property the figure1 CLI's -server mode relies on for byte-identical
+// JSON output.
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"hotnoc"
+	"hotnoc/internal/chipcfg"
+	"hotnoc/internal/core"
+	"hotnoc/internal/sim"
+)
+
+// SSE event names on GET /v1/sweeps/{id}/events. A stream is a replayed
+// prefix of the job's event log followed by live events: zero or more
+// progress/outcome events, terminated by exactly one error or done event.
+const (
+	// EventProgress carries an EventMsg: a build/characterize/evaluate
+	// pipeline notification attributed to this job.
+	EventProgress = "progress"
+	// EventOutcome carries an OutcomeMsg. Outcomes arrive in point order:
+	// Index increments from 0 to the grid size minus one.
+	EventOutcome = "outcome"
+	// EventError carries an ErrorMsg and terminates the stream; the job
+	// failed or was canceled.
+	EventError = "error"
+	// EventDone carries an empty object and terminates the stream; every
+	// outcome was delivered.
+	EventDone = "done"
+)
+
+// Job states reported by JobInfo.
+const (
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// SweepRequest is the body of POST /v1/sweeps.
+type SweepRequest struct {
+	// Scale divides the workload size (0 means the server default of 1 =
+	// paper scale). The daemon keeps one Lab per scale, so every job at
+	// one scale shares one build cache and one characterization cache.
+	Scale int `json:"scale,omitempty"`
+	// Points is the experiment grid, evaluated and streamed in order.
+	Points []PointSpec `json:"points"`
+}
+
+// SweepCreated is the response of POST /v1/sweeps.
+type SweepCreated struct {
+	// ID names the job for the events, jobs and delete endpoints.
+	ID string `json:"id"`
+	// Points echoes the grid size.
+	Points int `json:"points"`
+}
+
+// PointSpec is one grid cell in wire form: schemes travel by name and are
+// resolved server-side, so only the paper's named schemes (and any the
+// server knows) can cross the wire.
+type PointSpec struct {
+	Config                 string `json:"config"`
+	Scheme                 string `json:"scheme"`
+	Blocks                 int    `json:"blocks,omitempty"`
+	ExcludeMigrationEnergy bool   `json:"exclude_migration_energy,omitempty"`
+}
+
+// FromPoint converts a grid point to wire form.
+func FromPoint(p sim.Point) PointSpec {
+	return PointSpec{
+		Config:                 p.Config,
+		Scheme:                 p.Scheme.Name,
+		Blocks:                 p.Blocks,
+		ExcludeMigrationEnergy: p.ExcludeMigrationEnergy,
+	}
+}
+
+// Point resolves the spec into a runnable grid point. It fails when the
+// scheme name is not one of the paper's five — a remote daemon cannot run
+// a custom scheme whose step function only exists in the client process.
+func (ps PointSpec) Point() (sim.Point, error) {
+	scheme, err := core.SchemeByName(ps.Scheme)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	return sim.Point{
+		Config:                 ps.Config,
+		Scheme:                 scheme,
+		Blocks:                 ps.Blocks,
+		ExcludeMigrationEnergy: ps.ExcludeMigrationEnergy,
+	}, nil
+}
+
+// BuiltInfo is the metadata slice of a calibrated build that crosses the
+// wire with each outcome: enough for every consumer of sweep results
+// (figure tables, heat-map dimensions, period conversion) without
+// shipping the multi-megabyte simulation state itself.
+type BuiltInfo struct {
+	Config      string  `json:"config"`
+	GridW       int     `json:"grid_w"`
+	GridH       int     `json:"grid_h"`
+	EnergyScale float64 `json:"energy_scale"`
+	StaticPeakC float64 `json:"static_peak_c"`
+	BlockCycles int64   `json:"block_cycles"`
+	ClockHz     float64 `json:"clock_hz"`
+}
+
+// FromBuilt extracts the wire metadata from a calibrated build.
+func FromBuilt(config string, b *chipcfg.Built) BuiltInfo {
+	return BuiltInfo{
+		Config:      config,
+		GridW:       b.System.Grid.W,
+		GridH:       b.System.Grid.H,
+		EnergyScale: b.EnergyScale,
+		StaticPeakC: b.StaticPeakC,
+		BlockCycles: b.BlockCycles,
+		ClockHz:     b.System.ClockHz,
+	}
+}
+
+// OutcomeMsg is one evaluated grid point, streamed as an EventOutcome.
+type OutcomeMsg struct {
+	// Index is the point's position in the requested grid; outcomes
+	// stream with Index strictly incrementing from 0.
+	Index  int            `json:"index"`
+	Point  PointSpec      `json:"point"`
+	Built  BuiltInfo      `json:"built"`
+	Result core.RunResult `json:"result"`
+}
+
+// FromOutcome converts one sweep outcome to wire form.
+func FromOutcome(index int, o sim.Outcome) OutcomeMsg {
+	return OutcomeMsg{
+		Index:  index,
+		Point:  FromPoint(o.Point),
+		Built:  FromBuilt(o.Point.Config, o.Built),
+		Result: o.Result,
+	}
+}
+
+// EventMsg is one pipeline progress notification, streamed as an
+// EventProgress. It mirrors sim.Event field for field.
+type EventMsg struct {
+	Stage    string `json:"stage"`
+	Config   string `json:"config,omitempty"`
+	Scale    int    `json:"scale,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	Point    int    `json:"point"`
+	Blocks   int    `json:"blocks,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+}
+
+// FromEvent converts a pipeline event to wire form.
+func FromEvent(ev sim.Event) EventMsg {
+	return EventMsg{
+		Stage:    string(ev.Stage),
+		Config:   ev.Config,
+		Scale:    ev.Scale,
+		Scheme:   ev.Scheme,
+		Point:    ev.Point,
+		Blocks:   ev.Blocks,
+		CacheHit: ev.CacheHit,
+	}
+}
+
+// Event converts the wire form back to a pipeline event.
+func (m EventMsg) Event() sim.Event {
+	return sim.Event{
+		Stage:    sim.Stage(m.Stage),
+		Config:   m.Config,
+		Scale:    m.Scale,
+		Scheme:   m.Scheme,
+		Point:    m.Point,
+		Blocks:   m.Blocks,
+		CacheHit: m.CacheHit,
+	}
+}
+
+// JobInfo describes one sweep job, as returned by GET /v1/jobs and
+// DELETE /v1/jobs/{id}.
+type JobInfo struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Scale int    `json:"scale"`
+	// Points is the grid size; Done counts outcomes delivered so far.
+	Points    int       `json:"points"`
+	Done      int       `json:"done"`
+	CreatedAt time.Time `json:"created_at"`
+	// Error holds the failure message for failed or canceled jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// JobList is the response of GET /v1/jobs, ordered by job creation.
+type JobList struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// JobCounts aggregates jobs by state.
+type JobCounts struct {
+	Total    int `json:"total"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}
+
+// Stats is the response of GET /v1/stats: job counts plus one LabStats
+// snapshot (decode counter, characterization cache hits/misses, worker
+// utilization) per Lab the daemon has instantiated, ordered by scale.
+type Stats struct {
+	Jobs JobCounts         `json:"jobs"`
+	Labs []hotnoc.LabStats `json:"labs"`
+}
+
+// ErrorMsg is the body of every non-2xx response and of EventError
+// stream events.
+type ErrorMsg struct {
+	Error string `json:"error"`
+}
+
+func (e ErrorMsg) Err() error { return fmt.Errorf("hotnocd: %s", e.Error) }

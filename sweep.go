@@ -25,13 +25,22 @@ type (
 // Sweep evaluates an arbitrary configuration × scheme × period grid
 // concurrently and returns outcomes in point order.
 //
-// Deprecated: use Lab.Sweep (streaming) or Lab.SweepAll, which share the
-// session's build and characterization caches across calls:
+// Deprecated: use Lab.Sweep (streaming) or Lab.SweepAll:
 //
 //	lab := hotnoc.NewLab(hotnoc.WithScale(8))
 //	outs, err := lab.SweepAll(ctx, pts)
+//
+// Sweep routes through a shared default Lab per (scale, workers,
+// cache-dir), so repeated legacy calls do reuse the build and
+// characterization caches. Only a call with a Progress callback (which
+// cannot be shared) pays for a private runner.
 func Sweep(ctx context.Context, pts []SweepPoint, opts SweepOptions) ([]SweepOutcome, error) {
-	return sim.NewRunner(opts).Run(ctx, pts)
+	if opts.Progress != nil || opts.CacheLimit != 0 {
+		// Callbacks and eviction policy are per-caller concerns that a
+		// shared Lab cannot honor; such calls keep a private runner.
+		return sim.NewRunner(opts).Run(ctx, pts)
+	}
+	return defaultLab(opts.Scale, opts.Workers, opts.CacheDir).SweepAll(ctx, pts)
 }
 
 // SweepGrid builds the cross product configs × schemes × blocks in
