@@ -32,6 +32,28 @@
 //			out.Point.Config, out.Point.Scheme.Name, out.Result.ReductionC)
 //	}
 //
+// A sweep grid is not limited to the paper's periodic policy: periodic
+// and reactive (threshold-triggered) points mix freely in one grid, share
+// NoC characterizations per (config, scheme), and stream back in point
+// order with the result arm matching each point's kind:
+//
+//	pts := []hotnoc.SweepPoint{
+//		hotnoc.PeriodicPoint("A", hotnoc.XYShift(), 4),
+//		hotnoc.ReactivePoint("A", hotnoc.ReactiveConfig{Scheme: hotnoc.XYShift(), TriggerC: 84}),
+//	}
+//	for out, err := range lab.Sweep(ctx, pts) {
+//		if err != nil {
+//			log.Fatal(err)
+//		}
+//		switch out.Point.Kind() {
+//		case hotnoc.KindReactive:
+//			fmt.Printf("reactive: peak %.2f°C, %d migrations\n",
+//				out.Reactive.PeakC, out.Reactive.Migrations)
+//		default:
+//			fmt.Printf("periodic: %.2f°C reduction\n", out.Result.ReductionC)
+//		}
+//	}
+//
 // Re-running the sweep — in the same process or in a fresh one pointed at
 // the same cache directory — skips the cycle-accurate NoC stage entirely
 // and reproduces the results bit for bit. One-shot evaluations can still
@@ -101,15 +123,16 @@ func Configs() []Spec { return chipcfg.Specs() }
 func ConfigByName(name string) (Spec, error) { return chipcfg.ByName(name) }
 
 // Session is the experiment surface shared by a local Lab and a remote
-// client talking to a hotnocd daemon: streaming grid sweeps plus the
-// paper's derived studies. The six CLIs program against Session, so a
-// -server flag swaps an in-process Lab for a remote daemon without
-// changing anything else; *Lab and the client package's *Client both
-// satisfy it. Lab-only facilities — Reactive sweeps, raw Build access,
-// decode counters — are not part of Session because a remote daemon does
-// not expose them.
+// client talking to a hotnocd daemon: streaming grid sweeps — periodic,
+// reactive or mixed — plus the paper's derived studies. The six CLIs
+// program against Session, so a -server flag swaps an in-process Lab for
+// a remote daemon without changing anything else; *Lab and the client
+// package's *Client both satisfy it. Lab-only facilities — raw Build
+// access, decode counters — are not part of Session because a remote
+// daemon does not expose them (the daemon's counters live on /v1/stats).
 type Session interface {
-	// Sweep streams grid outcomes in point order; see Lab.Sweep.
+	// Sweep streams grid outcomes in point order; see Lab.Sweep. Grids may
+	// mix periodic and reactive points freely.
 	Sweep(ctx context.Context, pts []SweepPoint) iter.Seq2[SweepOutcome, error]
 	// SweepAll is Sweep collected into a slice.
 	SweepAll(ctx context.Context, pts []SweepPoint) ([]SweepOutcome, error)
@@ -118,6 +141,9 @@ type Session interface {
 	Figure1(ctx context.Context, configs []string) (*Figure1Result, error)
 	PeriodSweep(ctx context.Context, config string, scheme Scheme, blocks []int) ([]PeriodPoint, error)
 	MigrationEnergy(ctx context.Context, config string) ([]EnergyStudy, error)
+	// Reactive evaluates threshold-triggered configurations on one chip
+	// configuration, in input order; see Lab.Reactive.
+	Reactive(ctx context.Context, config string, cfgs []ReactiveConfig) ([]ReactiveResult, error)
 	// Placement reports one configuration's thermally-aware static
 	// placement; see Lab.Placement.
 	Placement(ctx context.Context, config string) (*PlacementReport, error)

@@ -3,9 +3,10 @@
 // back as server-sent events.
 //
 // Client satisfies hotnoc.Session, and Client.Sweep returns the same
-// iter.Seq2[SweepOutcome, error] shape as Lab.Sweep, so code written
-// against the Lab — including every hotnoc CLI behind its -server flag —
-// runs unchanged against a remote daemon:
+// iter.Seq2[SweepOutcome, error] shape as Lab.Sweep — for periodic,
+// reactive and mixed grids alike — so code written against the Lab,
+// including every hotnoc CLI behind its -server flag, runs unchanged
+// against a remote daemon:
 //
 //	c := client.New("http://localhost:7077", client.WithScale(8))
 //	for out, err := range c.Sweep(ctx, pts) {
@@ -147,7 +148,7 @@ func (c *Client) Sweep(ctx context.Context, pts []hotnoc.SweepPoint) iter.Seq2[h
 			yield(hotnoc.SweepOutcome{}, err)
 			return
 		}
-		finished, err := c.streamJob(ctx, id, len(pts), yield)
+		finished, err := c.streamJob(ctx, id, pts, yield)
 		if err != nil {
 			yield(hotnoc.SweepOutcome{}, err)
 			return
@@ -164,10 +165,13 @@ func (c *Client) Sweep(ctx context.Context, pts []hotnoc.SweepPoint) iter.Seq2[h
 }
 
 // streamJob consumes a job's SSE stream, yielding outcomes and requiring
-// exactly want of them before the terminal done event. It returns
-// finished=false when the consumer stopped the iteration early, and a
-// non-nil error for transport or server-reported failures.
-func (c *Client) streamJob(ctx context.Context, id string, want int, yield func(hotnoc.SweepOutcome, error) bool) (finished bool, _ error) {
+// exactly one per submitted point before the terminal done event. It
+// returns finished=false when the consumer stopped the iteration early,
+// and a non-nil error for transport or server-reported failures —
+// including a daemon that echoed a different experiment kind than was
+// submitted (a pre-unification daemon silently drops reactive fields).
+func (c *Client) streamJob(ctx context.Context, id string, pts []hotnoc.SweepPoint, yield func(hotnoc.SweepOutcome, error) bool) (finished bool, _ error) {
+	want := len(pts)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/sweeps/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
@@ -205,7 +209,7 @@ func (c *Client) streamJob(ctx context.Context, id string, want int, yield func(
 			if event == "" && data.Len() == 0 {
 				continue
 			}
-			done, err := c.dispatch(event, data.Bytes(), builts, &next, yield)
+			done, err := c.dispatch(event, data.Bytes(), pts, builts, &next, yield)
 			if err != nil {
 				return false, err
 			}
@@ -240,7 +244,7 @@ const (
 )
 
 // dispatch handles one complete SSE frame.
-func (c *Client) dispatch(event string, data []byte, builts map[string]*chipcfg.Built, next *int, yield func(hotnoc.SweepOutcome, error) bool) (streamState, error) {
+func (c *Client) dispatch(event string, data []byte, pts []hotnoc.SweepPoint, builts map[string]*chipcfg.Built, next *int, yield func(hotnoc.SweepOutcome, error) bool) (streamState, error) {
 	switch event {
 	case wire.EventProgress:
 		if c.progress == nil {
@@ -258,6 +262,22 @@ func (c *Client) dispatch(event string, data []byte, builts map[string]*chipcfg.
 		}
 		if m.Index != *next {
 			return streamLive, fmt.Errorf("client: outcome %d arrived out of order (want %d)", m.Index, *next)
+		}
+		// A daemon predating the unified point model silently drops the
+		// reactive fields and evaluates the point as periodic; the kind it
+		// echoes back betrays that, so fail loudly instead of handing the
+		// caller results of the wrong experiment.
+		if m.Index < len(pts) {
+			sent, got := pts[m.Index].Kind() == hotnoc.KindReactive, m.Point.Kind == wire.KindReactive
+			if sent != got {
+				echoed := m.Point.Kind
+				if echoed == "" {
+					echoed = wire.KindPeriodic
+				}
+				return streamLive, fmt.Errorf(
+					"client: outcome %d came back %s but point was submitted as %s (daemon predates the unified point model?)",
+					m.Index, echoed, pts[m.Index].Kind())
+			}
 		}
 		*next++
 		if !yield(outcomeFromMsg(m, builts), nil) {
@@ -301,8 +321,18 @@ func outcomeFromMsg(m wire.OutcomeMsg, builts map[string]*chipcfg.Built) hotnoc.
 			Blocks:                 m.Point.Blocks,
 			ExcludeMigrationEnergy: m.Point.ExcludeMigrationEnergy,
 		}
+		if m.Point.Reactive != nil {
+			p.Reactive = &hotnoc.ReactiveConfig{
+				Scheme:       p.Scheme,
+				TriggerC:     m.Point.Reactive.TriggerC,
+				SimBlocks:    m.Point.Reactive.SimBlocks,
+				WarmupBlocks: m.Point.Reactive.WarmupBlocks,
+				SensorQuantC: m.Point.Reactive.SensorQuantC,
+				Dt:           m.Point.Reactive.Dt,
+			}
+		}
 	}
-	return hotnoc.SweepOutcome{Point: p, Built: b, Result: m.Result}
+	return hotnoc.SweepOutcome{Point: p, Built: b, Result: m.Result, Reactive: m.Reactive}
 }
 
 // SweepAll is Sweep collected into a slice.
@@ -353,6 +383,16 @@ func (c *Client) MigrationEnergy(ctx context.Context, config string) ([]hotnoc.E
 		return nil, err
 	}
 	return hotnoc.EnergyStudiesFromOutcomes(outs), nil
+}
+
+// Reactive evaluates threshold-triggered migration configurations on one
+// chip configuration through the daemon; see Lab.Reactive. The
+// configurations travel as reactive grid points — schemes by name,
+// thresholds and horizons by value — and the daemon shares NoC
+// characterizations with every periodic sweep at the same scale, so the
+// results are bitwise identical to an in-process Lab.Reactive.
+func (c *Client) Reactive(ctx context.Context, config string, cfgs []hotnoc.ReactiveConfig) ([]hotnoc.ReactiveResult, error) {
+	return hotnoc.SweepReactive(ctx, c, config, cfgs)
 }
 
 // Placement fetches one configuration's thermally-aware placement report

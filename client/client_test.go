@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hotnoc"
+	"hotnoc/server/wire"
+)
+
+// oldDaemon fakes a hotnocd predating the unified point model: its JSON
+// decoder drops the unknown kind/reactive fields, so every submitted
+// point is accepted and evaluated as periodic, and the echoed PointSpec
+// carries no reactive payload.
+func oldDaemon(t *testing.T) string {
+	t.Helper()
+	var points []wire.PointSpec
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Points []struct {
+				Config string `json:"config"`
+				Scheme string `json:"scheme"`
+				Blocks int    `json:"blocks"`
+				// No kind, no reactive: an old daemon's request type.
+			} `json:"points"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("old daemon could not decode sweep: %v", err)
+		}
+		points = points[:0]
+		for _, p := range req.Points {
+			points = append(points, wire.PointSpec{Config: p.Config, Scheme: p.Scheme, Blocks: p.Blocks})
+		}
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(wire.SweepCreated{ID: "job-1", Points: len(points)})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i, p := range points {
+			msg := wire.OutcomeMsg{Index: i, Point: p, Built: wire.BuiltInfo{
+				Config: p.Config, GridW: 4, GridH: 4, ClockHz: 1e9, StaticPeakC: 80, BlockCycles: 1000,
+			}}
+			data, _ := json.Marshal(msg)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", wire.EventOutcome, data)
+		}
+		fmt.Fprintf(w, "event: %s\ndata: {}\n\n", wire.EventDone)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(wire.JobInfo{ID: r.PathValue("id")})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestSweepDetectsKindSkew: a reactive point submitted to a daemon that
+// silently runs it as periodic must surface an error, not hand the
+// caller results of the wrong experiment. A pure periodic grid against
+// the same daemon still streams fine.
+func TestSweepDetectsKindSkew(t *testing.T) {
+	c := New(oldDaemon(t))
+	ctx := context.Background()
+
+	pts := []hotnoc.SweepPoint{
+		hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1),
+		hotnoc.ReactivePoint("A", hotnoc.ReactiveConfig{Scheme: hotnoc.Rot(), TriggerC: 84}),
+	}
+	_, err := c.SweepAll(ctx, pts)
+	if err == nil || !strings.Contains(err.Error(), "unified point model") {
+		t.Fatalf("kind skew not detected (err %v)", err)
+	}
+
+	periodic := []hotnoc.SweepPoint{hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1)}
+	outs, err := c.SweepAll(ctx, periodic)
+	if err != nil {
+		t.Fatalf("periodic grid against an old daemon failed: %v", err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("%d outcomes, want 1", len(outs))
+	}
+}

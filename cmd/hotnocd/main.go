@@ -6,14 +6,21 @@
 // Usage:
 //
 //	hotnocd [-addr :7077] [-cache-dir DIR] [-cache-limit N] [-workers N]
+//	        [-max-jobs N] [-retain-jobs N] [-retain-for 1h]
 //	        [-drain-timeout 1m] [-v]
 //
 // -addr is the listen address. -cache-dir persists NoC characterizations
 // across restarts (strongly recommended for a long-lived daemon);
 // -cache-limit bounds the file count with LRU eviction. -workers bounds
-// each Lab's worker pool (0 = one per core). On SIGINT/SIGTERM the daemon
-// stops accepting sweeps, drains in-flight jobs for up to -drain-timeout,
-// then cancels whatever remains and exits. -v logs requests.
+// each Lab's worker pool (0 = one per core). -max-jobs bounds
+// concurrently running sweep jobs: at the bound, new submissions are
+// rejected with 429 and a Retry-After header. -retain-jobs caps how many
+// finished jobs (and their replayable event logs) stay in memory;
+// -retain-for expires finished jobs after a TTL — between them a
+// long-lived daemon's memory stops growing with its history. On
+// SIGINT/SIGTERM the daemon stops accepting sweeps, drains in-flight
+// jobs for up to -drain-timeout, then cancels whatever remains and
+// exits. -v logs requests.
 //
 // Endpoints (see the server package for details):
 //
@@ -46,6 +53,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
 	cacheLimit := flag.Int("cache-limit", 0, "bound the characterization file count (LRU eviction; 0 = unbounded)")
 	workers := flag.Int("workers", 0, "per-Lab sweep worker pool size (0 = one per core)")
+	maxJobs := flag.Int("max-jobs", 0, "maximum concurrently running sweep jobs; excess submissions get 429 (0 = unbounded)")
+	retainJobs := flag.Int("retain-jobs", 0, "finished jobs kept in memory for late subscribers (0 = unbounded)")
+	retainFor := flag.Duration("retain-for", 0, "finished-job TTL, e.g. 1h (0 = keep until DELETEd)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to drain in-flight jobs on shutdown")
 	verbose := flag.Bool("v", false, "log requests")
 	flag.Parse()
@@ -56,6 +66,9 @@ func main() {
 		CacheDir:   *cacheDir,
 		CacheLimit: *cacheLimit,
 		Workers:    *workers,
+		MaxJobs:    *maxJobs,
+		RetainJobs: *retainJobs,
+		RetainFor:  *retainFor,
 	})
 	var handler http.Handler = svc
 	if *verbose {

@@ -6,11 +6,19 @@
 //
 //	hotsim [-config A] [-scheme rot] [-blocks 1] [-scale N] [-nomigenergy]
 //	       [-cache-dir DIR] [-server URL]
+//	hotsim -reactive -trigger 84 [-sim-blocks 2048] [-warmup-blocks N]
+//	       [-sensor-quant 0.25] [-dt 5e-6] [-config A] [-scheme rot]
+//	       [-scale N] [-cache-dir DIR] [-server URL]
 //
-// The evaluation runs through the lab, so Ctrl-C cancels cleanly between
-// pipeline stages and -cache-dir reuses NoC characterizations left by any
-// other tool on the same directory. -server runs the evaluation on a
-// hotnocd daemon instead; -cache-dir is then the daemon's business.
+// The default mode evaluates the paper's fixed-period policy. -reactive
+// evaluates the threshold-triggered policy instead: the plane migrates
+// only when the hottest (quantized) sensor exceeds -trigger °C, and the
+// report covers the post-warmup operating regime. Both modes run through
+// the session API, so Ctrl-C cancels cleanly between pipeline stages,
+// -cache-dir reuses NoC characterizations left by any other tool on the
+// same directory, and -server runs the evaluation — either kind — on a
+// hotnocd daemon with byte-identical output; -cache-dir is then the
+// daemon's business.
 package main
 
 import (
@@ -33,6 +41,12 @@ func main() {
 	noMigEnergy := flag.Bool("nomigenergy", false, "exclude migration energy (ablation)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
+	reactive := flag.Bool("reactive", false, "evaluate the threshold-triggered policy instead of the periodic one")
+	trigger := flag.Float64("trigger", 84, "reactive sensor threshold in °C")
+	simBlocks := flag.Int("sim-blocks", 2048, "reactive simulation horizon in decoded blocks")
+	warmupBlocks := flag.Int("warmup-blocks", 0, "blocks excluded from reactive statistics (0 = half the horizon)")
+	sensorQuant := flag.Float64("sensor-quant", 0.25, "reactive sensor resolution in °C")
+	dt := flag.Float64("dt", 5e-6, "reactive thermal integrator step in seconds")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -44,6 +58,38 @@ func main() {
 		os.Exit(1)
 	}
 	session := client.NewSession(*serverURL, *scale, 0, *cacheDir, nil)
+
+	// Flags belonging to the other mode are an error, not silently
+	// dropped: the threshold policy has no fixed period and always
+	// includes migration energy (the library's point validation agrees),
+	// and a -trigger without -reactive would otherwise run a periodic
+	// experiment the user did not ask for.
+	periodicOnly := map[string]bool{"blocks": true, "nomigenergy": true}
+	reactiveOnly := map[string]bool{"trigger": true, "sim-blocks": true,
+		"warmup-blocks": true, "sensor-quant": true, "dt": true}
+	flag.Visit(func(f *flag.Flag) {
+		switch {
+		case *reactive && periodicOnly[f.Name]:
+			fmt.Fprintf(os.Stderr, "hotsim: -%s is not supported with -reactive\n", f.Name)
+			os.Exit(1)
+		case !*reactive && reactiveOnly[f.Name]:
+			fmt.Fprintf(os.Stderr, "hotsim: -%s requires -reactive\n", f.Name)
+			os.Exit(1)
+		}
+	})
+
+	if *reactive {
+		runReactive(ctx, session, *config, hotnoc.ReactiveConfig{
+			Scheme:       scheme,
+			TriggerC:     *trigger,
+			SimBlocks:    *simBlocks,
+			WarmupBlocks: *warmupBlocks,
+			SensorQuantC: *sensorQuant,
+			Dt:           *dt,
+		})
+		return
+	}
+
 	outs, err := session.SweepAll(ctx, []hotnoc.SweepPoint{{
 		Config:                 *config,
 		Scheme:                 scheme,
@@ -82,4 +128,50 @@ func main() {
 	fmt.Print(report.HeatMap(g.W, g.H, res.BaselineMaxTemps, "°C"))
 	fmt.Println("\nmigrated max temperatures (°C):")
 	fmt.Print(report.HeatMap(g.W, g.H, res.MigratedMaxTemps, "°C"))
+}
+
+// runReactive evaluates one threshold-triggered configuration through the
+// session — local Lab or remote daemon alike — and reports the
+// controller's post-warmup operating regime.
+func runReactive(ctx context.Context, session hotnoc.Session, config string, cfg hotnoc.ReactiveConfig) {
+	results, err := session.Reactive(ctx, config, []hotnoc.ReactiveConfig{cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotsim:", err)
+		os.Exit(1)
+	}
+	res := results[0]
+
+	// Report the effective parameters the evaluation actually ran with,
+	// not the raw flags — defaults and clamping live in one place.
+	eff := cfg.Normalized()
+	recorded := eff.SimBlocks - eff.WarmupBlocks
+	fmt.Printf("configuration %s, scheme %s, reactive trigger %.2f °C\n", config, eff.Scheme.Name, eff.TriggerC)
+	fmt.Printf("horizon %d blocks (warmup %d), sensor LSB %.2f °C, dt %.1f µs\n\n",
+		eff.SimBlocks, eff.WarmupBlocks, eff.SensorQuantC, eff.Dt*1e6)
+
+	fmt.Printf("peak        %.2f °C (post-warmup)\n", res.PeakC)
+	fmt.Printf("mean        %.2f °C\n", res.MeanC)
+	fmt.Printf("migrations  %d over %d recorded blocks\n", res.Migrations, recorded)
+	fmt.Printf("throughput  %.2f %% penalty\n", res.ThroughputPenalty*100)
+
+	// A coarse timeline of the sensor peak shows the control behaviour:
+	// min/max over eight equal slices of the horizon.
+	if n := len(res.BlockPeaks); n >= 8 {
+		tb := report.NewTable("blocks", "sensor min °C", "sensor max °C")
+		for s := 0; s < 8; s++ {
+			lo, hi := s*n/8, (s+1)*n/8
+			mn, mx := res.BlockPeaks[lo], res.BlockPeaks[lo]
+			for _, v := range res.BlockPeaks[lo:hi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			tb.AddRow(fmt.Sprintf("%d-%d", lo, hi-1), mn, mx)
+		}
+		fmt.Println()
+		fmt.Print(tb.String())
+	}
 }

@@ -297,6 +297,49 @@ func EnergyStudiesFromOutcomes(outs []SweepOutcome) []EnergyStudy {
 	return out
 }
 
+// SweepReactive evaluates threshold-triggered configurations on one chip
+// configuration through any Session: validate the configs, sweep
+// ReactiveGrid(config, cfgs), extract the results in input order. It is
+// the shared implementation behind Lab.Reactive and the client SDK's
+// Reactive, so the local and remote paths cannot drift. A scheme is
+// acceptable with either a step function (evaluated in process) or a
+// name (resolved by a daemon); a config with neither fails fast, naming
+// its index.
+func SweepReactive(ctx context.Context, s Session, config string, cfgs []ReactiveConfig) ([]ReactiveResult, error) {
+	for i, cfg := range cfgs {
+		if cfg.Scheme.StepFn == nil && cfg.Scheme.Name == "" {
+			return nil, fmt.Errorf("hotnoc: reactive config %d has no migration scheme", i)
+		}
+	}
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	outs, err := s.SweepAll(ctx, ReactiveGrid(config, cfgs))
+	if err != nil {
+		return nil, err
+	}
+	return ReactiveResultsFromOutcomes(outs)
+}
+
+// ReactiveResultsFromOutcomes extracts the reactive results from the
+// outcomes of a reactive grid — ReactiveGrid(config, cfgs) — in point
+// order. It is the aggregation Lab.Reactive applies locally and remote
+// clients apply to outcomes streamed from a hotnocd daemon, so both
+// produce identical results from identical outcomes. An outcome without a
+// reactive result arm is an error: it means a periodic point slipped into
+// the grid, or a version-skewed daemon ran the points as periodic.
+func ReactiveResultsFromOutcomes(outs []SweepOutcome) ([]ReactiveResult, error) {
+	res := make([]ReactiveResult, len(outs))
+	for i, o := range outs {
+		if o.Reactive == nil {
+			return nil, fmt.Errorf("hotnoc: outcome %d carries no reactive result (point kind %q)",
+				i, o.Point.Kind())
+		}
+		res[i] = *o.Reactive
+	}
+	return res, nil
+}
+
 // Table1 returns the paper's Table 1 as printable rows, alongside the live
 // transform definitions for an n x n grid so readers can verify the code
 // implements exactly the published functions.

@@ -33,6 +33,15 @@ type ReactiveConfig struct {
 	Dt float64
 }
 
+// Normalized returns the config with defaults applied and the warmup
+// clamped — the exact values EvaluateReactive runs with. Reporting
+// layers use it so displayed horizons and warmups match what actually
+// ran instead of re-deriving the defaulting rules.
+func (c ReactiveConfig) Normalized() ReactiveConfig {
+	c.setDefaults()
+	return c
+}
+
 func (c *ReactiveConfig) setDefaults() {
 	if c.SimBlocks <= 0 {
 		c.SimBlocks = 2048

@@ -41,8 +41,12 @@ type Event struct {
 	Scheme string
 	// Point is the grid-point index for StageEvaluateDone, -1 otherwise.
 	Point int
-	// Blocks is the point's migration period for StageEvaluateDone.
+	// Blocks is the point's migration period for StageEvaluateDone on a
+	// periodic point; zero for reactive points.
 	Blocks int
+	// Kind is the point's experiment kind ("periodic" or "reactive") for
+	// StageEvaluateDone; empty otherwise.
+	Kind string
 	// CacheHit reports, on StageCharacterizeDone, that the orbit was
 	// served from the cross-run characterization cache (memory or disk)
 	// and the NoC stage was skipped.

@@ -27,28 +27,116 @@ import (
 	"hotnoc/internal/core"
 )
 
-// Point is one cell of an experiment grid.
+// Kind discriminates the experiment a grid point runs: the paper's
+// periodic migration policy or the library's threshold-triggered reactive
+// extension. New experiment kinds are a Kind value plus an evaluation arm
+// in runTask — a data change, not an API change.
+type Kind string
+
+const (
+	// KindPeriodic evaluates the fixed-period policy (System.Evaluate).
+	KindPeriodic Kind = "periodic"
+	// KindReactive evaluates the threshold-triggered policy
+	// (System.EvaluateReactive).
+	KindReactive Kind = "reactive"
+)
+
+// Point is one cell of an experiment grid: a tagged union of a periodic
+// experiment (Config, Scheme, Blocks, ExcludeMigrationEnergy) and a
+// reactive one (Config, Scheme, Reactive). The zero Reactive field means
+// periodic, so pre-existing literals keep their meaning; the Periodic and
+// Reactive constructors build the two arms explicitly. Both kinds key
+// their NoC characterization on (Config, Scheme, scale), so mixed grids
+// pay for each orbit exactly once regardless of kind.
 type Point struct {
 	// Config is the chip configuration letter (A-E).
 	Config string
-	// Scheme is the migration scheme. Schemes are identified by name when
-	// grouping work and caching characterizations, so custom schemes must
-	// have unique names.
+	// Scheme is the migration scheme, for either kind. Schemes are
+	// identified by name when grouping work and caching characterizations,
+	// so custom schemes must have unique names.
 	Scheme core.Scheme
-	// Blocks is the migration period in decoded blocks (0 = 1; negative
-	// periods are rejected before any work starts).
+	// Blocks is the periodic migration period in decoded blocks (0 = 1;
+	// negative periods are rejected before any work starts). It must be
+	// zero on reactive points.
 	Blocks int
 	// ExcludeMigrationEnergy drops migration energy from the thermal
-	// schedule (the paper's §3 ablation).
+	// schedule (the paper's §3 ablation). Periodic points only.
 	ExcludeMigrationEnergy bool
+	// Reactive, when non-nil, makes this a reactive point: the
+	// threshold-triggered policy evaluated with these parameters. Its
+	// Scheme field, when set, must agree with the point's Scheme.
+	Reactive *core.ReactiveConfig
+}
+
+// Periodic returns a periodic grid point: config under scheme, migrating
+// every blocks decoded blocks.
+func Periodic(config string, scheme core.Scheme, blocks int) Point {
+	return Point{Config: config, Scheme: scheme, Blocks: blocks}
+}
+
+// Reactive returns a reactive grid point: config under cfg's
+// threshold-triggered policy. The point's scheme is cfg.Scheme.
+func Reactive(config string, cfg core.ReactiveConfig) Point {
+	return Point{Config: config, Scheme: cfg.Scheme, Reactive: &cfg}
+}
+
+// Kind reports the experiment this point runs.
+func (p Point) Kind() Kind {
+	if p.Reactive != nil {
+		return KindReactive
+	}
+	return KindPeriodic
+}
+
+// Validate rejects a malformed point: unknown configuration, scheme
+// without a step function, negative period, or periodic-only fields set
+// on a reactive point. It is the per-point half of the runner's fail-fast
+// grid validation, shared with the hotnocd daemon so a bad submission is
+// rejected with the same diagnosis it would fail with mid-sweep.
+func (p Point) Validate() error {
+	if _, err := chipcfg.ByName(p.Config); err != nil {
+		return err
+	}
+	if p.Scheme.StepFn == nil {
+		return fmt.Errorf("scheme %q has no step function", p.Scheme.Name)
+	}
+	if p.Reactive == nil {
+		if p.Blocks < 0 {
+			return fmt.Errorf("negative migration period %d blocks", p.Blocks)
+		}
+		return nil
+	}
+	if p.Blocks != 0 {
+		return fmt.Errorf("reactive point sets a migration period (%d blocks)", p.Blocks)
+	}
+	if p.ExcludeMigrationEnergy {
+		return fmt.Errorf("reactive point sets the migration-energy ablation")
+	}
+	if name := p.Reactive.Scheme.Name; name != "" && name != p.Scheme.Name {
+		return fmt.Errorf("reactive config selects scheme %q but the point is for %q",
+			name, p.Scheme.Name)
+	}
+	if p.Reactive.SimBlocks < 0 {
+		return fmt.Errorf("negative reactive horizon %d blocks", p.Reactive.SimBlocks)
+	}
+	if p.Reactive.WarmupBlocks < 0 {
+		return fmt.Errorf("negative reactive warmup %d blocks", p.Reactive.WarmupBlocks)
+	}
+	return nil
 }
 
 // Outcome pairs a grid point with its evaluation. Outcomes of the same
-// configuration share one *chipcfg.Built.
+// configuration share one *chipcfg.Built. Exactly one result arm is
+// populated, matching the point's kind: Result for periodic points,
+// Reactive for reactive ones.
 type Outcome struct {
-	Point  Point
-	Built  *chipcfg.Built
+	Point Point
+	Built *chipcfg.Built
+	// Result is the periodic baseline-versus-migrated comparison; zero for
+	// reactive points.
 	Result core.RunResult
+	// Reactive is the threshold-policy summary; nil for periodic points.
+	Reactive *core.ReactiveResult
 }
 
 // Options tunes a Runner.
@@ -242,15 +330,48 @@ func (r *Runner) builtFor(config string, prog func(Event)) (*chipcfg.Built, erro
 	return built, nil
 }
 
+// charSeen tracks which characterization keys one sweep has already
+// accounted for. Reactive cells of one (configuration, scheme) may run
+// as several chunk tasks, each resolving the same key; without the
+// dedup, one orbit would count several cache hits and emit a
+// worker-count-dependent number of StageCharacterizeDone events.
+type charSeen struct {
+	mu   sync.Mutex
+	keys map[CharKey]bool
+}
+
+// first reports whether key has not been accounted for yet, marking it.
+// A nil receiver (callers outside a sweep) always reports true.
+func (s *charSeen) first(key CharKey) bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.keys[key] {
+		return false
+	}
+	s.keys[key] = true
+	return true
+}
+
 // charFor resolves one (configuration, scheme) characterization through
 // the cross-run cache, simulating the orbit on the cycle-accurate NoC
-// only on a miss.
-func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event)) (*core.CharData, *chipcfg.Built, error) {
+// only on a miss. The hit/miss counters and the StageCharacterizeDone
+// event fire once per key per sweep (seen dedups them; nil means no
+// dedup), regardless of how many tasks the sweep split the key's cells
+// into. The accounting claim is taken before the cache lookup, so the
+// sweep's first requester — the one that observed whether the key was
+// already resolved — is the one that classifies it; a later chunk task
+// served from the freshly resolved entry cannot relabel the sweep's
+// compute as a hit.
+func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event), seen *charSeen) (*core.CharData, *chipcfg.Built, error) {
 	built, err := r.builtFor(config, prog)
 	if err != nil {
 		return nil, nil, err
 	}
 	key := CharKey{Config: config, Scheme: scheme.Name, Scale: r.opts.Scale}
+	account := seen.first(key)
 	data, hit, err := r.chars.Get(key, built.System.Grid.N(), func() (*core.CharData, error) {
 		emit(prog, Event{Stage: StageCharacterizeStart, Config: config, Scale: r.opts.Scale,
 			Scheme: scheme.Name, Point: -1})
@@ -270,13 +391,15 @@ func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event)) (*
 	if err != nil {
 		return nil, nil, fmt.Errorf("sim: config %s scheme %s: %w", config, scheme.Name, err)
 	}
-	if hit {
-		r.charHits.Add(1)
-	} else {
-		r.charMisses.Add(1)
+	if account {
+		if hit {
+			r.charHits.Add(1)
+		} else {
+			r.charMisses.Add(1)
+		}
+		emit(prog, Event{Stage: StageCharacterizeDone, Config: config, Scale: r.opts.Scale,
+			Scheme: scheme.Name, Point: -1, CacheHit: hit})
 	}
-	emit(prog, Event{Stage: StageCharacterizeDone, Config: config, Scale: r.opts.Scale,
-		Scheme: scheme.Name, Point: -1, CacheHit: hit})
 	return data, built, nil
 }
 
@@ -295,7 +418,7 @@ func (r *Runner) Characterization(config string, scheme core.Scheme) (*core.Char
 	if scheme.StepFn == nil {
 		return nil, nil, fmt.Errorf("sim: scheme %q has no step function", scheme.Name)
 	}
-	data, built, err := r.charFor(config, scheme, r.emitter(nil))
+	data, built, err := r.charFor(config, scheme, r.emitter(nil), nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -306,19 +429,16 @@ func (r *Runner) Characterization(config string, scheme core.Scheme) (*core.Char
 	return ch, built, nil
 }
 
-// validatePoints fails fast on malformed grids — unknown configuration
-// names, schemes without step functions, negative periods — before any
-// build or worker starts, naming the offending point.
-func validatePoints(pts []Point) error {
+// ValidatePoints fails fast on malformed grids — unknown configuration
+// names, schemes without step functions, negative periods, malformed
+// reactive parameters — before any build or worker starts, naming the
+// offending point. The runner applies it at the head of every sweep; the
+// hotnocd daemon applies the same check at submission so a bad grid is a
+// 400 naming the point, not a job failing mid-stream.
+func ValidatePoints(pts []Point) error {
 	for i, p := range pts {
-		if _, err := chipcfg.ByName(p.Config); err != nil {
+		if err := p.Validate(); err != nil {
 			return fmt.Errorf("sim: point %d: %w", i, err)
-		}
-		if p.Scheme.StepFn == nil {
-			return fmt.Errorf("sim: point %d: scheme %q has no step function", i, p.Scheme.Name)
-		}
-		if p.Blocks < 0 {
-			return fmt.Errorf("sim: point %d: negative migration period %d blocks", i, p.Blocks)
 		}
 	}
 	return nil
@@ -374,11 +494,12 @@ func (r *Runner) StreamWith(ctx context.Context, pts []Point, progress func(Even
 		if len(pts) == 0 {
 			return
 		}
-		if err := validatePoints(pts); err != nil {
+		if err := ValidatePoints(pts); err != nil {
 			yield(Outcome{}, err)
 			return
 		}
-		tasks := groupPoints(pts)
+		tasks := groupPoints(pts, r.opts.Workers)
+		seen := &charSeen{keys: map[CharKey]bool{}}
 
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
@@ -412,7 +533,7 @@ func (r *Runner) StreamWith(ctx context.Context, pts []Point, progress func(Even
 						return
 					}
 					r.busy.Add(1)
-					err := r.runTask(ctx, t, pts, out, ready, prog)
+					err := r.runTask(ctx, t, pts, out, ready, prog, seen)
 					r.busy.Add(-1)
 					if err != nil {
 						fail(err)
@@ -463,11 +584,13 @@ func (r *Runner) StreamWith(ctx context.Context, pts []Point, progress func(Even
 }
 
 // runTask resolves one (configuration, scheme) characterization — cache
-// or cycle-accurate NoC — and evaluates every period/ablation variant of
-// the group on a private System clone, marking each point ready as its
-// outcome lands.
-func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome, ready []chan struct{}, prog func(Event)) error {
-	data, built, err := r.charFor(t.config, t.scheme, prog)
+// or cycle-accurate NoC — and evaluates every variant of the group,
+// periodic and reactive alike, on a private System clone, marking each
+// point ready as its outcome lands. Mixed grids therefore share one orbit
+// characterization across kinds: a reactive point never re-simulates an
+// orbit a periodic point (or a cached run) already paid for.
+func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome, ready []chan struct{}, prog func(Event), seen *charSeen) error {
+	data, built, err := r.charFor(t.config, t.scheme, prog, seen)
 	if err != nil {
 		return err
 	}
@@ -484,39 +607,78 @@ func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome
 			return err
 		}
 		p := pts[idx]
-		res, err := sys.Evaluate(ch, core.EvalConfig{
-			BlocksPerPeriod:        p.Blocks,
-			ExcludeMigrationEnergy: p.ExcludeMigrationEnergy,
-		})
-		if err != nil {
-			return fmt.Errorf("sim: config %s scheme %s blocks %d: %w",
-				p.Config, p.Scheme.Name, p.Blocks, err)
+		o := Outcome{Point: p, Built: built}
+		switch p.Kind() {
+		case KindReactive:
+			cfg := *p.Reactive
+			// The point's Scheme is authoritative (it keyed the shared
+			// characterization); a spec that carried only parameters gets
+			// the step function filled in here.
+			cfg.Scheme = t.scheme
+			res, err := sys.EvaluateReactive(ch, cfg)
+			if err != nil {
+				return fmt.Errorf("sim: config %s scheme %s reactive trigger %g: %w",
+					p.Config, p.Scheme.Name, cfg.TriggerC, err)
+			}
+			o.Reactive = &res
+		default:
+			res, err := sys.Evaluate(ch, core.EvalConfig{
+				BlocksPerPeriod:        p.Blocks,
+				ExcludeMigrationEnergy: p.ExcludeMigrationEnergy,
+			})
+			if err != nil {
+				return fmt.Errorf("sim: config %s scheme %s blocks %d: %w",
+					p.Config, p.Scheme.Name, p.Blocks, err)
+			}
+			o.Result = res
 		}
-		out[idx] = Outcome{Point: p, Built: built, Result: res}
+		out[idx] = o
 		close(ready[idx])
 		emit(prog, Event{Stage: StageEvaluateDone, Config: p.Config, Scale: r.opts.Scale,
-			Scheme: p.Scheme.Name, Point: idx, Blocks: p.Blocks})
+			Scheme: p.Scheme.Name, Point: idx, Blocks: p.Blocks, Kind: string(p.Kind())})
 	}
 	return nil
 }
 
-// groupPoints partitions the grid into (configuration, scheme) tasks,
-// ordered by their first appearance so scheduling is deterministic.
-func groupPoints(pts []Point) []task {
+// groupPoints partitions the grid into tasks, ordered by their first
+// appearance so scheduling is deterministic. Periodic cells of one
+// (configuration, scheme) form a single task: their thermal evaluations
+// are cheap and share one System clone. Reactive cells of one
+// (configuration, scheme) are split into up to workers contiguous chunk
+// tasks: each cell is a full transient integration — the dominant cost
+// of a reactive sweep once the orbit is characterized — so a
+// single-scheme trigger sweep must be able to spread across the pool.
+// Chunk tasks request the same characterization key; the cache's
+// per-key singleflight still simulates the orbit at most once, and
+// results do not depend on the chunking (every clone evaluates
+// identically), so outcomes stay bitwise identical across worker counts.
+func groupPoints(pts []Point, workers int) []task {
 	type gkey struct {
 		config, scheme string
+		kind           Kind
 	}
 	order := map[gkey]int{}
-	var tasks []task
+	var groups []task
 	for i, p := range pts {
-		k := gkey{config: p.Config, scheme: p.Scheme.Name}
+		k := gkey{config: p.Config, scheme: p.Scheme.Name, kind: p.Kind()}
 		ti, ok := order[k]
 		if !ok {
-			ti = len(tasks)
+			ti = len(groups)
 			order[k] = ti
-			tasks = append(tasks, task{config: p.Config, scheme: p.Scheme})
+			groups = append(groups, task{config: p.Config, scheme: p.Scheme})
 		}
-		tasks[ti].cells = append(tasks[ti].cells, i)
+		groups[ti].cells = append(groups[ti].cells, i)
+	}
+	var tasks []task
+	for _, g := range groups {
+		if n := min(workers, len(g.cells)); n > 1 && pts[g.cells[0]].Kind() == KindReactive {
+			for c := 0; c < n; c++ {
+				lo, hi := c*len(g.cells)/n, (c+1)*len(g.cells)/n
+				tasks = append(tasks, task{config: g.config, scheme: g.scheme, cells: g.cells[lo:hi]})
+			}
+			continue
+		}
+		tasks = append(tasks, g)
 	}
 	// Largest groups first: with more tasks than workers this packs the
 	// pool better without affecting result order.
@@ -541,6 +703,18 @@ func Grid(configs []string, schemes []core.Scheme, blocks []int) []Point {
 				pts = append(pts, Point{Config: c, Scheme: s, Blocks: b})
 			}
 		}
+	}
+	return pts
+}
+
+// ReactiveGrid returns one reactive point per threshold configuration on
+// one chip configuration, in input order. Configurations selecting the
+// same scheme share one NoC characterization when swept, exactly as the
+// periods of a periodic period sweep do.
+func ReactiveGrid(config string, cfgs []core.ReactiveConfig) []Point {
+	pts := make([]Point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i] = Reactive(config, cfg)
 	}
 	return pts
 }

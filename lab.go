@@ -2,9 +2,7 @@ package hotnoc
 
 import (
 	"context"
-	"fmt"
 	"iter"
-	"sync"
 
 	"hotnoc/internal/sim"
 )
@@ -212,100 +210,14 @@ func (l *Lab) MigrationEnergy(ctx context.Context, config string) ([]EnergyStudy
 }
 
 // Reactive evaluates threshold-triggered migration configurations on one
-// chip configuration. All entries selecting the same scheme share one NoC
-// characterization — served from the Lab's cross-run cache when available
-// — so a reactive parameter sweep (trigger thresholds, sensor
-// quantisations, horizons) pays for each orbit once, exactly as periodic
-// period sweeps do. The evaluations themselves — transient thermal
-// integrations, the dominant cost once the orbit is cached — run
-// concurrently on the Lab's worker pool, each worker evaluating on its
-// own System clone. Results are returned in input order and are bitwise
+// chip configuration. It is sugar for sweeping ReactiveGrid(config, cfgs)
+// — the configurations become reactive grid points and run on the same
+// worker-pool pipeline as every other sweep, so entries selecting the
+// same scheme share one NoC characterization (served from the Lab's
+// cross-run cache when available), exactly as periodic period sweeps do,
+// and the transient thermal evaluations run concurrently on independent
+// System clones. Results are returned in input order and are bitwise
 // identical to the fused System.RunReactive.
 func (l *Lab) Reactive(ctx context.Context, config string, cfgs []ReactiveConfig) ([]ReactiveResult, error) {
-	for i, cfg := range cfgs {
-		if cfg.Scheme.StepFn == nil {
-			return nil, fmt.Errorf("hotnoc: reactive config %d has no migration scheme", i)
-		}
-	}
-	if len(cfgs) == 0 {
-		return nil, nil
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	out := make([]ReactiveResult, len(cfgs))
-	workers := min(l.runner.Workers(), len(cfgs))
-	idxCh := make(chan int)
-	var (
-		wg       sync.WaitGroup
-		failOnce sync.Once
-		failErr  error
-	)
-	fail := func(err error) {
-		failOnce.Do(func() {
-			failErr = err
-			cancel()
-		})
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns one System clone per scheme:
-			// EvaluateReactive reuses its cached thermal factorisations
-			// across the scheme's configs, and a System must not be
-			// shared across goroutines.
-			type unit struct {
-				sys *System
-				ch  *Characterization
-			}
-			units := map[string]unit{}
-			for i := range idxCh {
-				if ctx.Err() != nil {
-					return
-				}
-				cfg := cfgs[i]
-				name := cfg.Scheme.Name
-				u, ok := units[name]
-				if !ok {
-					ch, built, err := l.runner.Characterization(config, cfg.Scheme)
-					if err != nil {
-						fail(err)
-						return
-					}
-					sys, err := built.System.Clone()
-					if err != nil {
-						fail(fmt.Errorf("hotnoc: config %s: clone: %w", config, err))
-						return
-					}
-					u = unit{sys: sys, ch: ch}
-					units[name] = u
-				}
-				res, err := u.sys.EvaluateReactive(u.ch, cfg)
-				if err != nil {
-					fail(fmt.Errorf("hotnoc: reactive config %d (%s): %w", i, name, err))
-					return
-				}
-				out[i] = res
-			}
-		}()
-	}
-feed:
-	for i := range cfgs {
-		select {
-		case idxCh <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idxCh)
-	wg.Wait()
-	if failErr != nil {
-		return nil, failErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return SweepReactive(ctx, l, config, cfgs)
 }

@@ -307,6 +307,68 @@ func TestLabReactiveValidation(t *testing.T) {
 	}
 }
 
+// TestLabMixedSweep: periodic and reactive points mix freely in one
+// Lab.Sweep, stream in point order with the result arm matching each
+// kind, and share one NoC characterization per (config, scheme) across
+// kinds — the decode counter moves once per orbit, not per kind.
+func TestLabMixedSweep(t *testing.T) {
+	ctx := context.Background()
+	lab := NewLab(WithScale(testScale), WithWorkers(4))
+	rcfg := ReactiveConfig{Scheme: XYShift(), TriggerC: 84, SimBlocks: 200, WarmupBlocks: 100}
+	pts := []SweepPoint{
+		PeriodicPoint("A", XYShift(), 1),
+		ReactivePoint("A", rcfg),
+		PeriodicPoint("A", XYShift(), 4),
+	}
+	if err := ValidateSweep(pts); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for out, err := range lab.Sweep(ctx, pts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Point.Kind() != pts[i].Kind() {
+			t.Fatalf("stream position %d has kind %q, want %q", i, out.Point.Kind(), pts[i].Kind())
+		}
+		if (out.Point.Kind() == KindReactive) != (out.Reactive != nil) {
+			t.Fatalf("stream position %d: result arm does not match kind %q", i, out.Point.Kind())
+		}
+		i++
+	}
+	if i != len(pts) {
+		t.Fatalf("stream yielded %d outcomes, want %d", i, len(pts))
+	}
+
+	// One (config, scheme) pair across three points of two kinds: the
+	// decode counter must match a single-orbit reference exactly.
+	ref := NewLab(WithScale(testScale))
+	if _, err := ref.SweepAll(ctx, pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if lab.Decodes() != ref.Decodes() {
+		t.Fatalf("mixed sweep performed %d decodes, want the one-orbit reference's %d",
+			lab.Decodes(), ref.Decodes())
+	}
+
+	// The reactive arm is bitwise identical to the fused RunReactive.
+	outs, err := lab.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildConfig("A", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := built.System.RunReactive(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*outs[1].Reactive, want) {
+		t.Fatal("mixed-sweep reactive result differs from fused RunReactive")
+	}
+}
+
 // TestDeprecatedWrappersShareDefaultLab: the deprecated free functions
 // route repeated calls through one shared Lab per (scale, workers), so
 // the second call performs zero NoC decodes.

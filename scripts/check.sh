@@ -11,7 +11,7 @@ echo "== go build" && go build ./...
 echo "== go vet" && go vet ./...
 echo "== go test" && go test ./...
 echo "== go test -race (cache + streaming + service paths)" && go test -race ./internal/sim ./internal/core ./server .
-echo "== service smoke (hotnocd + figure1 -server)" && sh scripts/service_smoke.sh
+echo "== service smoke (hotnocd + figure1/hotsim -server)" && sh scripts/service_smoke.sh
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck" && staticcheck ./...

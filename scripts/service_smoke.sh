@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
 # service_smoke.sh: end-to-end smoke of the hotnocd service path. Builds
-# hotnocd and figure1, starts a daemon on a scratch port with a scratch
-# cache dir, runs the figure remotely, and requires the JSON to be
-# byte-identical to the in-process run — then runs it remotely again to
-# prove the daemon's characterization cache serves the repeat. CI runs
-# this as the service-smoke job; check.sh mirrors it locally.
+# hotnocd, figure1 and hotsim, starts a daemon on a scratch port with a
+# scratch cache dir, runs the figure remotely, and requires the JSON to
+# be byte-identical to the in-process run — then runs it remotely again
+# to prove the daemon's characterization cache serves the repeat.
+# Finally it pushes a reactive (threshold-triggered) evaluation through
+# the same daemon and requires hotsim's report to be byte-identical to
+# the in-process run — the unified point model's remote surface, end to
+# end. CI runs this as the service-smoke job; check.sh mirrors it
+# locally.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +23,7 @@ trap cleanup EXIT INT TERM
 
 go build -o "$workdir/hotnocd" ./cmd/hotnocd
 go build -o "$workdir/figure1" ./cmd/figure1
+go build -o "$workdir/hotsim" ./cmd/hotsim
 
 addr="127.0.0.1:$((20000 + $$ % 10000))"
 "$workdir/hotnocd" -addr "$addr" -cache-dir "$workdir/cache" >"$workdir/daemon.log" 2>&1 &
@@ -58,4 +63,19 @@ if ! cmp -s "$workdir/local.json" "$workdir/remote2.json"; then
     exit 1
 fi
 
-echo "service smoke ok (byte-identical local/remote figure1)"
+reactive_flags="-reactive -trigger 84 -sim-blocks 300 -warmup-blocks 150 -config A -scale 8"
+
+echo "== hotsim $reactive_flags (in process)"
+# shellcheck disable=SC2086
+"$workdir/hotsim" $reactive_flags >"$workdir/reactive_local.txt"
+
+echo "== hotsim $reactive_flags -server http://$addr"
+# shellcheck disable=SC2086
+"$workdir/hotsim" $reactive_flags -server "http://$addr" >"$workdir/reactive_remote.txt"
+if ! cmp -s "$workdir/reactive_local.txt" "$workdir/reactive_remote.txt"; then
+    echo "service smoke: remote reactive report differs from in-process run" >&2
+    diff "$workdir/reactive_local.txt" "$workdir/reactive_remote.txt" >&2 || true
+    exit 1
+fi
+
+echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim)"

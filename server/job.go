@@ -29,12 +29,13 @@ type job struct {
 	createdAt time.Time
 	cancel    context.CancelFunc
 
-	mu     sync.Mutex
-	msgs   []message
-	notify chan struct{}
-	state  string
-	done   int
-	errMsg string
+	mu         sync.Mutex
+	msgs       []message
+	notify     chan struct{}
+	state      string
+	done       int
+	errMsg     string
+	finishedAt time.Time
 }
 
 func newJob(id string, scale, points int, cancel context.CancelFunc) *job {
@@ -80,6 +81,7 @@ func (j *job) finish() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = wire.JobDone
+	j.finishedAt = time.Now()
 	j.appendLocked(wire.EventDone, data)
 }
 
@@ -94,6 +96,7 @@ func (j *job) fail(state string, err error) {
 	defer j.mu.Unlock()
 	j.state = state
 	j.errMsg = err.Error()
+	j.finishedAt = time.Now()
 	j.appendLocked(wire.EventError, data)
 }
 
@@ -104,18 +107,28 @@ func (j *job) finished() bool {
 	return j.state != wire.JobRunning
 }
 
+// terminalAt returns when the job reached a terminal state, and false
+// while it is still running. Retention measures a finished job's age
+// from this instant, not from creation.
+func (j *job) terminalAt() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finishedAt, j.state != wire.JobRunning
+}
+
 // snapshot returns the job's wire description.
 func (j *job) snapshot() wire.JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return wire.JobInfo{
-		ID:        j.id,
-		State:     j.state,
-		Scale:     j.scale,
-		Points:    j.points,
-		Done:      j.done,
-		CreatedAt: j.createdAt,
-		Error:     j.errMsg,
+		ID:         j.id,
+		State:      j.state,
+		Scale:      j.scale,
+		Points:     j.points,
+		Done:       j.done,
+		CreatedAt:  j.createdAt,
+		FinishedAt: j.finishedAt,
+		Error:      j.errMsg,
 	}
 }
 

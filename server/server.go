@@ -15,12 +15,24 @@
 //	GET    /v1/stats              decode counter, cache hits, worker utilization
 //	GET    /healthz               liveness
 //
+// Grids may mix periodic and reactive points (wire.PointSpec's kind
+// field); both kinds share NoC characterizations per (config, scheme)
+// through the Lab, so the daemon serves the paper's entire experiment
+// space from one cache. Malformed grids are rejected at submission with
+// a 400 naming the offending point — the same fail-fast validation the
+// in-process runner applies.
+//
 // A job starts executing the moment it is accepted; the SSE stream
 // replays the job's full event log on (re)connect before following live
 // events, so subscribing is race-free. The daemon keeps one Lab per
 // scale: concurrent jobs over the same grid points share builds and
 // characterizations through the Lab's singleflight caches, which is the
 // whole point of running this as a service.
+//
+// Config.MaxJobs bounds concurrently running jobs (saturated submissions
+// get 429 + Retry-After); Config.RetainJobs and Config.RetainFor bound
+// how long finished jobs and their event logs stay addressable, so a
+// long-lived daemon's memory does not grow with its history.
 package server
 
 import (
@@ -33,6 +45,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"hotnoc"
 	"hotnoc/server/wire"
@@ -49,6 +62,22 @@ type Config struct {
 	// Workers bounds each Lab's worker pool (0 = one per core). All jobs
 	// at one scale multiplex onto the same pool.
 	Workers int
+	// MaxJobs bounds concurrently running sweep jobs across all scales.
+	// At the bound, POST /v1/sweeps is rejected with 429 Too Many
+	// Requests and a Retry-After header instead of queueing unbounded
+	// work behind the worker pools. Zero means unbounded.
+	MaxJobs int
+	// RetainJobs caps how many finished jobs (and their in-memory event
+	// logs) the daemon keeps for late subscribers; beyond it the
+	// oldest-finished jobs are forgotten, exactly as if a client had
+	// DELETEd them. Zero means unbounded. Running jobs never count
+	// against the cap.
+	RetainJobs int
+	// RetainFor is the finished-job TTL: a job whose terminal state is
+	// older than this is forgotten on the next submission, completion or
+	// listing. Zero keeps finished jobs until DELETEd (or evicted by
+	// RetainJobs).
+	RetainFor time.Duration
 }
 
 // Server serves Lab sweeps over HTTP. Create one with New, mount it as an
@@ -65,6 +94,9 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string
 	nextID   int
+	// running counts jobs not yet in a terminal state, for the MaxJobs
+	// admission bound.
+	running int
 }
 
 // maxScale bounds the client-supplied workload divisor. The paper runs at
@@ -169,15 +201,14 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
 			return
 		}
-		if _, err := hotnoc.ConfigByName(p.Config); err != nil {
-			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
-			return
-		}
-		if p.Blocks < 0 {
-			writeError(w, http.StatusBadRequest, "point %d: negative migration period %d blocks", i, p.Blocks)
-			return
-		}
 		pts[i] = p
+	}
+	// The same fail-fast grid validation the sweep runner applies, run at
+	// submission so a malformed grid — of either kind — is a 400 naming
+	// the offending point, not a job failing mid-stream.
+	if err := hotnoc.ValidateSweep(pts); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 
 	lab := s.labFor(scale)
@@ -189,11 +220,24 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	if s.cfg.MaxJobs > 0 && s.running >= s.cfg.MaxJobs {
+		s.mu.Unlock()
+		cancel()
+		// The daemon is saturated, not broken: tell well-behaved clients
+		// when to come back instead of letting them pile work onto the
+		// worker pools.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests,
+			"server is running its maximum of %d concurrent jobs", s.cfg.MaxJobs)
+		return
+	}
+	s.pruneLocked(time.Now())
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := newJob(id, scale, len(pts), cancel)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	s.running++
 	// Registering with the WaitGroup under the same lock that Shutdown
 	// takes to set draining guarantees Shutdown's Wait sees this job.
 	s.jobsWG.Add(1)
@@ -207,9 +251,17 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob drives one sweep to completion, appending every progress event
-// and outcome to the job's log. It owns the job's terminal state.
+// and outcome to the job's log. It owns the job's terminal state, and on
+// reaching it releases the job's admission slot and applies the
+// retention policy.
 func (s *Server) runJob(ctx context.Context, j *job, lab *hotnoc.Lab, pts []hotnoc.SweepPoint) {
 	defer s.jobsWG.Done()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.pruneLocked(time.Now())
+		s.mu.Unlock()
+	}()
 	defer j.cancel()
 	idx := 0
 	progress := func(ev hotnoc.Event) {
@@ -228,6 +280,64 @@ func (s *Server) runJob(ctx context.Context, j *job, lab *hotnoc.Lab, pts []hotn
 		idx++
 	}
 	j.finish()
+}
+
+// retryAfterSeconds is the Retry-After hint on 429 responses. Sweep jobs
+// run for seconds to minutes, so a short constant backoff is honest
+// without being aggressive.
+const retryAfterSeconds = 5
+
+// pruneLocked applies the retention policy to finished jobs: first the
+// TTL (RetainFor), then the count cap (RetainJobs), forgetting
+// oldest-finished first. Running jobs are never touched. Callers hold
+// s.mu. Event streams already attached to a forgotten job keep serving
+// from their own reference; the job just stops being addressable.
+func (s *Server) pruneLocked(now time.Time) {
+	if s.cfg.RetainFor <= 0 && s.cfg.RetainJobs <= 0 {
+		return
+	}
+	type finished struct {
+		id string
+		at time.Time
+	}
+	var fin []finished
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if at, done := j.terminalAt(); done {
+			fin = append(fin, finished{id: id, at: at})
+		}
+	}
+	sort.Slice(fin, func(i, k int) bool { return fin[i].at.Before(fin[k].at) })
+	drop := map[string]bool{}
+	if s.cfg.RetainFor > 0 {
+		for _, f := range fin {
+			if now.Sub(f.at) >= s.cfg.RetainFor {
+				drop[f.id] = true
+			}
+		}
+	}
+	if s.cfg.RetainJobs > 0 {
+		kept := 0
+		for i := len(fin) - 1; i >= 0; i-- {
+			if drop[fin[i].id] {
+				continue
+			}
+			kept++
+			if kept > s.cfg.RetainJobs {
+				drop[fin[i].id] = true
+			}
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	for id := range drop {
+		delete(s.jobs, id)
+	}
+	s.order = slices.DeleteFunc(s.order, func(id string) bool { return drop[id] })
 }
 
 func (s *Server) jobByID(id string) *job {
@@ -279,6 +389,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	s.pruneLocked(time.Now())
 	jobs := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
 		if j, ok := s.jobs[id]; ok {
@@ -348,6 +459,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	s.pruneLocked(time.Now())
 	scales := make([]int, 0, len(s.labs))
 	for scale := range s.labs {
 		scales = append(scales, scale)
@@ -377,7 +489,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			counts.Canceled++
 		}
 	}
-	writeJSON(w, wire.Stats{Jobs: counts, Labs: labs})
+	writeJSON(w, wire.Stats{Jobs: counts, Labs: labs, Limits: wire.Limits{
+		MaxJobs:      s.cfg.MaxJobs,
+		RetainJobs:   s.cfg.RetainJobs,
+		RetainForSec: s.cfg.RetainFor.Seconds(),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -376,6 +376,277 @@ func TestEarlyBreakCancelsJob(t *testing.T) {
 	}
 }
 
+// mixedTestGrid interleaves periodic and reactive points over two
+// (config, scheme) pairs.
+func mixedTestGrid() []hotnoc.SweepPoint {
+	return []hotnoc.SweepPoint{
+		hotnoc.PeriodicPoint("A", hotnoc.XYShift(), 1),
+		hotnoc.ReactivePoint("A", hotnoc.ReactiveConfig{
+			Scheme: hotnoc.XYShift(), TriggerC: 84, SimBlocks: 200, WarmupBlocks: 100}),
+		hotnoc.PeriodicPoint("A", hotnoc.Rot(), 4),
+		hotnoc.ReactivePoint("A", hotnoc.ReactiveConfig{
+			Scheme: hotnoc.Rot(), TriggerC: 83, SimBlocks: 200, WarmupBlocks: 100}),
+		hotnoc.PeriodicPoint("A", hotnoc.XYShift(), 8),
+	}
+}
+
+// TestMixedGridRemoteParity is the PR's acceptance criterion: a mixed
+// periodic+reactive grid submitted through the client streams outcomes in
+// point order, byte-identical (JSON) to the same grid run through an
+// in-process Lab, and a repeat submission on the daemon's warm cache
+// performs zero extra NoC decodes — asserted through /v1/stats.
+func TestMixedGridRemoteParity(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	pts := mixedTestGrid()
+
+	var remote []hotnoc.SweepOutcome
+	i := 0
+	for out, err := range c.Sweep(ctx, pts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Point.Kind() != pts[i].Kind() || out.Point.Scheme.Name != pts[i].Scheme.Name {
+			t.Fatalf("stream position %d carries %s/%s, want %s/%s", i,
+				out.Point.Kind(), out.Point.Scheme.Name, pts[i].Kind(), pts[i].Scheme.Name)
+		}
+		remote = append(remote, out)
+		i++
+	}
+	if i != len(pts) {
+		t.Fatalf("stream yielded %d outcomes, want %d", i, len(pts))
+	}
+
+	localLab := hotnoc.NewLab(hotnoc.WithScale(testScale))
+	local, err := localLab.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range local {
+		lr, err := json.Marshal(struct {
+			Result   hotnoc.RunResult       `json:"result"`
+			Reactive *hotnoc.ReactiveResult `json:"reactive"`
+		}{local[j].Result, local[j].Reactive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := json.Marshal(struct {
+			Result   hotnoc.RunResult       `json:"result"`
+			Reactive *hotnoc.ReactiveResult `json:"reactive"`
+		}{remote[j].Result, remote[j].Reactive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(lr) != string(rr) {
+			t.Fatalf("point %d: remote outcome differs from in-process run:\nremote %s\nlocal  %s", j, rr, lr)
+		}
+	}
+
+	// Warm repeat: the daemon already characterized both orbits; the
+	// decode counter on /v1/stats must not move.
+	before, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SweepAll(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Labs) != 1 || len(after.Labs) != 1 {
+		t.Fatalf("stats list %d/%d labs, want 1/1", len(before.Labs), len(after.Labs))
+	}
+	if after.Labs[0].Decodes != before.Labs[0].Decodes {
+		t.Fatalf("warm mixed sweep performed %d extra NoC decodes, want 0",
+			after.Labs[0].Decodes-before.Labs[0].Decodes)
+	}
+	// 2 distinct (config, scheme) pairs across 5 points of 2 kinds: the
+	// daemon decoded exactly what the in-process Lab did.
+	if before.Labs[0].Decodes != localLab.Decodes() {
+		t.Fatalf("daemon performed %d decodes for the mixed grid, want %d (one characterization per config+scheme)",
+			before.Labs[0].Decodes, localLab.Decodes())
+	}
+}
+
+// TestReactiveRemoteParity: client.Reactive through the daemon is bitwise
+// identical to Lab.Reactive in process, and shares the daemon's
+// characterization cache with periodic sweeps at the same scale.
+func TestReactiveRemoteParity(t *testing.T) {
+	srv, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	cfgs := []hotnoc.ReactiveConfig{
+		{Scheme: hotnoc.XYShift(), TriggerC: 84, SimBlocks: 200, WarmupBlocks: 100},
+		{Scheme: hotnoc.XYShift(), TriggerC: 82, SimBlocks: 200, WarmupBlocks: 100},
+		{Scheme: hotnoc.Rot(), TriggerC: 85, SimBlocks: 200, WarmupBlocks: 100},
+	}
+
+	remote, err := c.Reactive(ctx, "A", cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hotnoc.NewLab(hotnoc.WithScale(testScale)).Reactive(ctx, "A", cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remote, local) {
+		t.Fatal("remote reactive results differ from in-process Lab.Reactive")
+	}
+
+	// A periodic sweep over the same schemes is served from the
+	// characterizations the reactive job just paid for.
+	decodes := srv.labFor(testScale).Stats().Decodes
+	if _, err := c.SweepAll(ctx, hotnoc.SweepGrid([]string{"A"},
+		[]hotnoc.Scheme{hotnoc.XYShift(), hotnoc.Rot()}, []int{1, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.labFor(testScale).Stats().Decodes; got != decodes {
+		t.Fatalf("periodic sweep re-simulated %d decodes after reactive job, want 0", got-decodes)
+	}
+}
+
+// TestSweepValidationNamesReactivePoint: a malformed reactive point is a
+// 400 naming its index at submission, not a job failing mid-stream.
+func TestSweepValidationNamesReactivePoint(t *testing.T) {
+	_, url := testServer(t, Config{})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+
+	bad := hotnoc.ReactivePoint("A", hotnoc.ReactiveConfig{Scheme: hotnoc.Rot(), TriggerC: 80})
+	bad.Blocks = 4 // periodic field on a reactive point
+	pts := []hotnoc.SweepPoint{hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1), bad}
+	if _, err := c.StartSweep(ctx, pts); err == nil ||
+		!strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("malformed reactive point not rejected with its index (err %v)", err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("rejected submission still registered %d jobs", len(jobs))
+	}
+}
+
+// TestMaxJobsRejectsWith429: at the concurrent-job bound, POST /v1/sweeps
+// is a 429 with a Retry-After header, and capacity frees once a running
+// job terminates.
+func TestMaxJobsRejectsWith429(t *testing.T) {
+	_, url := testServer(t, Config{MaxJobs: 1})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+
+	// A wide grid keeps the only slot busy while we probe the bound.
+	wide := hotnoc.SweepGrid([]string{"A", "B", "C", "D", "E"}, hotnoc.Schemes(), []int{1, 2, 4, 8})
+	id, err := c.StartSweep(ctx, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := json.Marshal(wire.SweepRequest{Scale: testScale, Points: []wire.PointSpec{
+		{Config: "A", Scheme: "Rot", Blocks: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated daemon answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+
+	// The limit is echoed on /v1/stats for diagnosis.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Limits.MaxJobs != 1 {
+		t.Fatalf("stats echo max_jobs %d, want 1", st.Limits.MaxJobs)
+	}
+
+	// Freeing the slot re-admits work.
+	if _, err := c.CancelJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	waitForTerminal(t, c, id)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := c.StartSweep(ctx, wide[:1]); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never re-admitted work after its job terminated")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRetentionCapsFinishedJobs: RetainJobs bounds how many finished jobs
+// stay addressable — the oldest-finished are forgotten like a client
+// DELETE — and RetainFor expires them by age.
+func TestRetentionCapsFinishedJobs(t *testing.T) {
+	_, url := testServer(t, Config{RetainJobs: 1})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+	pts := testGrid()[:1]
+
+	first, err := c.StartSweep(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, first, wire.JobDone)
+	second, err := c.StartSweep(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, second, wire.JobDone)
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != second {
+		t.Fatalf("retention kept %d jobs (first %v), want only the newest %s", len(jobs), jobs, second)
+	}
+	if jobs[0].FinishedAt.IsZero() {
+		t.Fatal("finished job reports no finished_at timestamp")
+	}
+	if _, err := c.Job(ctx, first); err == nil {
+		t.Fatalf("evicted job %s still addressable", first)
+	}
+}
+
+// TestRetentionTTLExpiresJobs: a finished job older than RetainFor is
+// forgotten on the next listing.
+func TestRetentionTTLExpiresJobs(t *testing.T) {
+	_, url := testServer(t, Config{RetainFor: 50 * time.Millisecond})
+	c := client.New(url, client.WithScale(testScale))
+	ctx := context.Background()
+
+	id, err := c.StartSweep(ctx, testGrid()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, id, wire.JobDone)
+	time.Sleep(100 * time.Millisecond)
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("expired job still listed: %v", jobs)
+	}
+}
+
 // waitForState polls until the job reaches state or the test times out.
 func waitForState(t *testing.T, c *client.Client, id, state string) wire.JobInfo {
 	t.Helper()

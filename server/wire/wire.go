@@ -64,40 +64,97 @@ type SweepCreated struct {
 	Points int `json:"points"`
 }
 
+// Point kinds on the wire; an absent kind means periodic, so grids from
+// pre-unification clients keep their meaning.
+const (
+	KindPeriodic = string(sim.KindPeriodic)
+	KindReactive = string(sim.KindReactive)
+)
+
 // PointSpec is one grid cell in wire form: schemes travel by name and are
 // resolved server-side, so only the paper's named schemes (and any the
-// server knows) can cross the wire.
+// server knows) can cross the wire. Kind discriminates the experiment —
+// empty or "periodic" evaluates the fixed-period policy with Blocks and
+// ExcludeMigrationEnergy; "reactive" evaluates the threshold policy with
+// the Reactive parameters.
 type PointSpec struct {
-	Config                 string `json:"config"`
-	Scheme                 string `json:"scheme"`
-	Blocks                 int    `json:"blocks,omitempty"`
-	ExcludeMigrationEnergy bool   `json:"exclude_migration_energy,omitempty"`
+	Config                 string        `json:"config"`
+	Scheme                 string        `json:"scheme"`
+	Kind                   string        `json:"kind,omitempty"`
+	Blocks                 int           `json:"blocks,omitempty"`
+	ExcludeMigrationEnergy bool          `json:"exclude_migration_energy,omitempty"`
+	Reactive               *ReactiveSpec `json:"reactive,omitempty"`
+}
+
+// ReactiveSpec carries a reactive point's threshold-policy parameters.
+// The scheme is the enclosing PointSpec's; zero fields take the
+// server-side defaults of core.ReactiveConfig, so defaults applied on the
+// daemon match defaults applied in process.
+type ReactiveSpec struct {
+	TriggerC     float64 `json:"trigger_c"`
+	SimBlocks    int     `json:"sim_blocks,omitempty"`
+	WarmupBlocks int     `json:"warmup_blocks,omitempty"`
+	SensorQuantC float64 `json:"sensor_quant_c,omitempty"`
+	Dt           float64 `json:"dt,omitempty"`
 }
 
 // FromPoint converts a grid point to wire form.
 func FromPoint(p sim.Point) PointSpec {
-	return PointSpec{
+	ps := PointSpec{
 		Config:                 p.Config,
 		Scheme:                 p.Scheme.Name,
 		Blocks:                 p.Blocks,
 		ExcludeMigrationEnergy: p.ExcludeMigrationEnergy,
 	}
+	if p.Reactive != nil {
+		ps.Kind = KindReactive
+		ps.Reactive = &ReactiveSpec{
+			TriggerC:     p.Reactive.TriggerC,
+			SimBlocks:    p.Reactive.SimBlocks,
+			WarmupBlocks: p.Reactive.WarmupBlocks,
+			SensorQuantC: p.Reactive.SensorQuantC,
+			Dt:           p.Reactive.Dt,
+		}
+	}
+	return ps
 }
 
 // Point resolves the spec into a runnable grid point. It fails when the
 // scheme name is not one of the paper's five — a remote daemon cannot run
-// a custom scheme whose step function only exists in the client process.
+// a custom scheme whose step function only exists in the client process —
+// or when the kind is unknown or inconsistent with the reactive payload.
 func (ps PointSpec) Point() (sim.Point, error) {
 	scheme, err := core.SchemeByName(ps.Scheme)
 	if err != nil {
 		return sim.Point{}, err
 	}
-	return sim.Point{
+	p := sim.Point{
 		Config:                 ps.Config,
 		Scheme:                 scheme,
 		Blocks:                 ps.Blocks,
 		ExcludeMigrationEnergy: ps.ExcludeMigrationEnergy,
-	}, nil
+	}
+	switch ps.Kind {
+	case "", KindPeriodic:
+		if ps.Reactive != nil {
+			return sim.Point{}, fmt.Errorf("periodic point carries reactive parameters")
+		}
+	case KindReactive:
+		if ps.Reactive == nil {
+			return sim.Point{}, fmt.Errorf("reactive point carries no reactive parameters")
+		}
+		p.Reactive = &core.ReactiveConfig{
+			Scheme:       scheme,
+			TriggerC:     ps.Reactive.TriggerC,
+			SimBlocks:    ps.Reactive.SimBlocks,
+			WarmupBlocks: ps.Reactive.WarmupBlocks,
+			SensorQuantC: ps.Reactive.SensorQuantC,
+			Dt:           ps.Reactive.Dt,
+		}
+	default:
+		return sim.Point{}, fmt.Errorf("unknown point kind %q", ps.Kind)
+	}
+	return p, nil
 }
 
 // BuiltInfo is the metadata slice of a calibrated build that crosses the
@@ -128,22 +185,28 @@ func FromBuilt(config string, b *chipcfg.Built) BuiltInfo {
 }
 
 // OutcomeMsg is one evaluated grid point, streamed as an EventOutcome.
+// Exactly one result arm is populated, matching the point's kind: Result
+// for periodic points (omitted — all-zero — on reactive ones), Reactive
+// for reactive points. Both arms are plain float64 data, so an outcome
+// round-trips the wire bit for bit.
 type OutcomeMsg struct {
 	// Index is the point's position in the requested grid; outcomes
 	// stream with Index strictly incrementing from 0.
-	Index  int            `json:"index"`
-	Point  PointSpec      `json:"point"`
-	Built  BuiltInfo      `json:"built"`
-	Result core.RunResult `json:"result"`
+	Index    int                  `json:"index"`
+	Point    PointSpec            `json:"point"`
+	Built    BuiltInfo            `json:"built"`
+	Result   core.RunResult       `json:"result,omitzero"`
+	Reactive *core.ReactiveResult `json:"reactive,omitempty"`
 }
 
 // FromOutcome converts one sweep outcome to wire form.
 func FromOutcome(index int, o sim.Outcome) OutcomeMsg {
 	return OutcomeMsg{
-		Index:  index,
-		Point:  FromPoint(o.Point),
-		Built:  FromBuilt(o.Point.Config, o.Built),
-		Result: o.Result,
+		Index:    index,
+		Point:    FromPoint(o.Point),
+		Built:    FromBuilt(o.Point.Config, o.Built),
+		Result:   o.Result,
+		Reactive: o.Reactive,
 	}
 }
 
@@ -156,6 +219,7 @@ type EventMsg struct {
 	Scheme   string `json:"scheme,omitempty"`
 	Point    int    `json:"point"`
 	Blocks   int    `json:"blocks,omitempty"`
+	Kind     string `json:"kind,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
 }
 
@@ -168,6 +232,7 @@ func FromEvent(ev sim.Event) EventMsg {
 		Scheme:   ev.Scheme,
 		Point:    ev.Point,
 		Blocks:   ev.Blocks,
+		Kind:     ev.Kind,
 		CacheHit: ev.CacheHit,
 	}
 }
@@ -181,6 +246,7 @@ func (m EventMsg) Event() sim.Event {
 		Scheme:   m.Scheme,
 		Point:    m.Point,
 		Blocks:   m.Blocks,
+		Kind:     m.Kind,
 		CacheHit: m.CacheHit,
 	}
 }
@@ -195,6 +261,9 @@ type JobInfo struct {
 	Points    int       `json:"points"`
 	Done      int       `json:"done"`
 	CreatedAt time.Time `json:"created_at"`
+	// FinishedAt is when the job reached a terminal state; zero (omitted)
+	// while running. Retention (see Config.RetainFor) measures from it.
+	FinishedAt time.Time `json:"finished_at,omitzero"`
 	// Error holds the failure message for failed or canceled jobs.
 	Error string `json:"error,omitempty"`
 }
@@ -213,12 +282,28 @@ type JobCounts struct {
 	Canceled int `json:"canceled"`
 }
 
+// Limits echoes the daemon's admission and retention configuration, so
+// clients can see why a sweep was rejected with 429 or where a finished
+// job went. Zero fields mean "unbounded".
+type Limits struct {
+	// MaxJobs bounds concurrently running sweeps; at the bound, new
+	// submissions are rejected with 429 and a Retry-After header.
+	MaxJobs int `json:"max_jobs,omitempty"`
+	// RetainJobs caps how many finished jobs (and their event logs) the
+	// daemon keeps; the oldest-finished are forgotten first.
+	RetainJobs int `json:"retain_jobs,omitempty"`
+	// RetainForSec is the finished-job TTL in seconds.
+	RetainForSec float64 `json:"retain_for_sec,omitempty"`
+}
+
 // Stats is the response of GET /v1/stats: job counts plus one LabStats
 // snapshot (decode counter, characterization cache hits/misses, worker
-// utilization) per Lab the daemon has instantiated, ordered by scale.
+// utilization) per Lab the daemon has instantiated, ordered by scale,
+// plus the daemon's admission/retention limits.
 type Stats struct {
-	Jobs JobCounts         `json:"jobs"`
-	Labs []hotnoc.LabStats `json:"labs"`
+	Jobs   JobCounts         `json:"jobs"`
+	Labs   []hotnoc.LabStats `json:"labs"`
+	Limits Limits            `json:"limits,omitzero"`
 }
 
 // ErrorMsg is the body of every non-2xx response and of EventError
