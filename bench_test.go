@@ -7,6 +7,7 @@ import (
 
 	"hotnoc/internal/core"
 	"hotnoc/internal/geom"
+	"hotnoc/internal/place"
 )
 
 // Benchmarks double as the experiment harness: each one regenerates a
@@ -176,6 +177,29 @@ func BenchmarkLabSweepWarm(b *testing.B) {
 		}
 	}
 	b.ReportMetric(mean, "°C-xyshift-mean")
+}
+
+// BenchmarkBuildWarm measures reconstituting a paper-scale calibrated
+// build from its persisted snapshot — the daemon's cold-start path with
+// a populated cache directory — against which BenchmarkFigure1's builds
+// (annealing + calibration per configuration) are the cold baseline.
+// The anneals/op metric must be 0: a warm start performs deterministic
+// assembly and a gob decode, nothing more.
+func BenchmarkBuildWarm(b *testing.B) {
+	dir := b.TempDir()
+	seed := NewLab(WithCacheDir(dir))
+	if _, err := seed.Build("A"); err != nil {
+		b.Fatal(err)
+	}
+	start := place.AnnealCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab := NewLab(WithCacheDir(dir)) // a fresh process, in miniature
+		if _, err := lab.Build("A"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(place.AnnealCount()-start)/float64(b.N), "anneals/op")
 }
 
 // BenchmarkMigrationEnergy regenerates the §3 rotation-energy observation

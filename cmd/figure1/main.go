@@ -10,9 +10,11 @@
 // -scale divides the workload size (1 = full paper scale, slower; 8 is a
 // quick smoke run). -workers bounds the lab's worker pool (0 = one per
 // core); the 25-cell grid runs concurrently and Ctrl-C cancels cleanly.
-// -cache-dir persists NoC characterizations, so re-running the figure —
-// or any other tool pointed at the same directory — skips the
-// cycle-accurate stage and reproduces the numbers bit for bit. -server
+// -cache-dir persists NoC characterizations and calibrated build
+// snapshots, so re-running the figure — or any other tool pointed at the
+// same directory — skips the cycle-accurate stage, the placement
+// annealing and the energy calibration, and reproduces the numbers bit
+// for bit. -server
 // runs the sweep on a hotnocd daemon instead of in process; results are
 // byte-identical to a local run at the same scale, and -workers /
 // -cache-dir are then the daemon's business. -csv and -json emit
@@ -38,7 +40,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	configs := flag.String("configs", "A,B,C,D,E", "comma-separated configuration letters")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
-	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")

@@ -10,8 +10,11 @@
 //	        [-drain-timeout 1m] [-v]
 //
 // -addr is the listen address. -cache-dir persists NoC characterizations
-// across restarts (strongly recommended for a long-lived daemon);
-// -cache-limit bounds the file count with LRU eviction. -workers bounds
+// and calibrated build snapshots (annealed placement + energy
+// calibration) across restarts, so a restarted daemon warm-starts with
+// zero annealing, calibration or cycle-accurate simulation (strongly
+// recommended for a long-lived daemon); -cache-limit bounds the file
+// count of each artifact kind with LRU eviction. -workers bounds
 // each Lab's worker pool (0 = one per core). -max-jobs bounds
 // concurrently running sweep jobs: at the bound, new submissions are
 // rejected with 429 and a Retry-After header. -retain-jobs caps how many
@@ -50,8 +53,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7077", "listen address")
-	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
-	cacheLimit := flag.Int("cache-limit", 0, "bound the characterization file count (LRU eviction; 0 = unbounded)")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
+	cacheLimit := flag.Int("cache-limit", 0, "bound the cache file count per artifact kind (LRU eviction; 0 = unbounded)")
 	workers := flag.Int("workers", 0, "per-Lab sweep worker pool size (0 = one per core)")
 	maxJobs := flag.Int("max-jobs", 0, "maximum concurrently running sweep jobs; excess submissions get 429 (0 = unbounded)")
 	retainJobs := flag.Int("retain-jobs", 0, "finished jobs kept in memory for late subscribers (0 = unbounded)")

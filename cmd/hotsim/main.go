@@ -15,7 +15,8 @@
 // only when the hottest (quantized) sensor exceeds -trigger °C, and the
 // report covers the post-warmup operating regime. Both modes run through
 // the session API, so Ctrl-C cancels cleanly between pipeline stages,
-// -cache-dir reuses NoC characterizations left by any other tool on the
+// -cache-dir reuses NoC characterizations and calibrated build snapshots
+// left by any other tool on the
 // same directory, and -server runs the evaluation — either kind — on a
 // hotnocd daemon with byte-identical output; -cache-dir is then the
 // daemon's business.
@@ -39,7 +40,7 @@ func main() {
 	blocks := flag.Int("blocks", 1, "migration period in LDPC blocks")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	noMigEnergy := flag.Bool("nomigenergy", false, "exclude migration energy (ablation)")
-	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	reactive := flag.Bool("reactive", false, "evaluate the threshold-triggered policy instead of the periodic one")
 	trigger := flag.Float64("trigger", 84, "reactive sensor threshold in °C")

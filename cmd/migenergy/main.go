@@ -32,7 +32,7 @@ func main() {
 	config := flag.String("config", "E", "configuration letter (A-E)")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
-	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")
 	flag.Parse()

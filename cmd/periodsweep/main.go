@@ -37,7 +37,7 @@ func main() {
 	blocksArg := flag.String("blocks", "1,4,8", "comma-separated periods in blocks")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
-	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
 	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")

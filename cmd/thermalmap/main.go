@@ -30,7 +30,7 @@ func main() {
 	config := flag.String("config", "E", "configuration letter (A-E)")
 	schemeName := flag.String("scheme", "x-y shift", "migration scheme")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
-	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations under this directory")
+	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
 	flag.Parse()
 

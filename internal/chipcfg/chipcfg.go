@@ -61,6 +61,11 @@ type Spec struct {
 	IOAtCorner bool
 	PlaceSeed  int64
 	PlaceIters int
+	// PlaceRestarts runs that many independently-seeded annealing searches
+	// and keeps the deterministic best (see place.Options.Restarts). Zero
+	// or one keeps the single-seed search the paper configurations use,
+	// preserving their placements bit for bit.
+	PlaceRestarts int
 
 	// Decoder and workload.
 	MaxIter  int
@@ -138,13 +143,13 @@ func (s Spec) Scaled(f int) Spec {
 		return s
 	}
 	out := s
-	out.CodeN = maxInt(s.GridN*s.GridN*10, s.CodeN/f)
-	out.CodeM = maxInt(s.GridN*s.GridN*5, s.CodeM/f)
-	out.MaxIter = maxInt(4, s.MaxIter/f)
-	out.PlaceIters = maxInt(2000, s.PlaceIters/f)
+	out.CodeN = max(s.GridN*s.GridN*10, s.CodeN/f)
+	out.CodeM = max(s.GridN*s.GridN*5, s.CodeM/f)
+	out.MaxIter = max(4, s.MaxIter/f)
+	out.PlaceIters = max(2000, s.PlaceIters/f)
 	// Blocks shrink with the code, so the migrated state must shrink too
 	// or migration overhead would dwarf the reduced workload.
-	out.StateFlits = maxInt(8, s.StateFlits/f)
+	out.StateFlits = max(8, s.StateFlits/f)
 	return out
 }
 
@@ -154,13 +159,6 @@ func (s Spec) ioCoord(g geom.Grid) geom.Coord {
 		return geom.Coord{X: 0, Y: 0}
 	}
 	return geom.Coord{X: g.W / 2, Y: 0}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Built is a fully assembled, calibrated system plus its metadata.
@@ -177,8 +175,120 @@ type Built struct {
 	PlaceResult place.Result
 }
 
-// Build assembles and calibrates the configuration.
+// BuildData is the serializable product of Build's two expensive stages —
+// the simulated-annealing placement and the energy calibration — plus the
+// baseline block duration their shared calibration decode measured. Both
+// stages are pure functions of the (already scaled) spec, which is what
+// makes persisting the snapshot sound: FromData re-runs the cheap
+// deterministic assembly and splices these numbers back in, reproducing
+// Build's result bit for bit without annealing or calibrating. All fields
+// are plain data (gob- and JSON-encodable).
+type BuildData struct {
+	// Config and GridN identify the spec the snapshot belongs to, so a
+	// restore against the wrong configuration fails loudly.
+	Config string
+	GridN  int
+	// Placement maps logical PE -> physical block; PeakC, CommHops, Cost
+	// and Accepted echo the annealer's Result so a reconstituted build
+	// serves identical placement reports.
+	Placement []int
+	PeakC     float64
+	CommHops  float64
+	Cost      float64
+	Accepted  int
+	// EnergyScale and StaticPeakC are the calibration outcome.
+	EnergyScale float64
+	StaticPeakC float64
+	// BlockCycles is the baseline block decode duration.
+	BlockCycles int64
+}
+
+// Data snapshots the build's expensive products as plain data. The
+// placement is copied; the snapshot has no tie to the live system.
+func (b *Built) Data() *BuildData {
+	return &BuildData{
+		Config:      b.Spec.Name,
+		GridN:       b.Spec.GridN,
+		Placement:   append([]int(nil), b.PlaceResult.Place...),
+		PeakC:       b.PlaceResult.PeakC,
+		CommHops:    b.PlaceResult.CommHops,
+		Cost:        b.PlaceResult.Cost,
+		Accepted:    b.PlaceResult.Accepted,
+		EnergyScale: b.EnergyScale,
+		StaticPeakC: b.StaticPeakC,
+		BlockCycles: b.BlockCycles,
+	}
+}
+
+// Validate checks a (possibly deserialized, possibly stale) snapshot
+// against the spec it claims to reconstitute: right configuration and
+// grid, a true placement bijection, a physical calibration result. It is
+// the gate a disk cache entry must pass before FromData will trust it.
+func (d *BuildData) Validate(s Spec) error {
+	if d.Config != s.Name {
+		return fmt.Errorf("chipcfg: build data is for configuration %q, not %q", d.Config, s.Name)
+	}
+	if d.GridN != s.GridN {
+		return fmt.Errorf("chipcfg %s: build data is for a %dx%d grid, want %dx%d",
+			s.Name, d.GridN, d.GridN, s.GridN, s.GridN)
+	}
+	n := s.GridN * s.GridN
+	if len(d.Placement) != n {
+		return fmt.Errorf("chipcfg %s: placement has %d entries for %d PEs",
+			s.Name, len(d.Placement), n)
+	}
+	seen := make([]bool, n)
+	for _, b := range d.Placement {
+		if b < 0 || b >= n || seen[b] {
+			return fmt.Errorf("chipcfg %s: placement is not a bijection", s.Name)
+		}
+		seen[b] = true
+	}
+	if !(d.EnergyScale > 0) || math.IsInf(d.EnergyScale, 0) {
+		return fmt.Errorf("chipcfg %s: invalid energy scale %g", s.Name, d.EnergyScale)
+	}
+	// calibrateScale guarantees the static peak lands within 0.05 °C of
+	// the spec's target; anything else is a snapshot of a different
+	// calibration (or a different thermal model) and must be rebuilt.
+	if math.Abs(d.StaticPeakC-s.BasePeakC) > 0.05 {
+		return fmt.Errorf("chipcfg %s: calibrated peak %.3f °C does not match target %.3f",
+			s.Name, d.StaticPeakC, s.BasePeakC)
+	}
+	if d.BlockCycles <= 0 {
+		return fmt.Errorf("chipcfg %s: non-positive block duration %d cycles", s.Name, d.BlockCycles)
+	}
+	return nil
+}
+
+// Build assembles and calibrates the configuration: deterministic
+// assembly, then the simulated-annealing placement and the energy
+// calibration — the dominant cold-start cost. Built.Data snapshots the
+// expensive products; FromData reconstitutes the build from a snapshot
+// without repeating them.
 func (s Spec) Build() (*Built, error) {
+	return s.build(nil)
+}
+
+// FromData reconstitutes a calibrated build from a snapshot: the
+// deterministic assembly re-runs, the annealed placement and calibration
+// numbers are spliced in, and no annealing, calibration decode or
+// bisection happens. The snapshot is revalidated against the spec first,
+// so a stale or foreign snapshot is an error, never a miscalibrated
+// system. The result is indistinguishable from the Build that produced
+// the snapshot: evaluations of either are bitwise identical.
+func (s Spec) FromData(d *BuildData) (*Built, error) {
+	if d == nil {
+		return nil, fmt.Errorf("chipcfg %s: nil build data", s.Name)
+	}
+	if err := d.Validate(s); err != nil {
+		return nil, err
+	}
+	return s.build(d)
+}
+
+// build is the shared assembly path: with a nil snapshot it anneals and
+// calibrates (the cold path); with a snapshot it restores those products.
+func (s Spec) build(data *BuildData) (*Built, error) {
 	g := geom.NewGrid(s.GridN, s.GridN)
 
 	code, err := ldpc.NewRegular(s.CodeN, s.CodeM, s.ColWeight, s.CodeSeed)
@@ -204,30 +314,43 @@ func (s Spec) Build() (*Built, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chipcfg %s: thermal: %w", s.Name, err)
 	}
-	inf, err := thermal.NewInfluence(tn)
-	if err != nil {
-		return nil, fmt.Errorf("chipcfg %s: influence: %w", s.Name, err)
-	}
 
-	// Thermally-aware placement on the unit-scale compute power profile
-	// (the scale cancels out of the argmax).
 	baseEnergy := power.Default160nm()
-	ops := appmap.OpsPerPE(code, part)
-	pePower := make([]float64, g.N())
-	for i, o := range ops {
-		pePower[i] = float64(o) * baseEnergy.PEOpJ
-	}
-	ioTraffic := make([]int64, g.N())
-	for v := 0; v < code.N; v++ {
-		ioTraffic[part.VarPE[v]]++ // one LLR in and one decision out per variable
-	}
-	pl, err := place.Anneal(&place.Problem{
-		Grid: g, Inf: inf, PEPower: pePower,
-		Traffic: appmap.TrafficMatrix(code, part), CommWeight: s.CommWeight,
-		IOTraffic: ioTraffic, IOCoord: s.ioCoord(g), IOWeight: s.IOWeight,
-	}, place.Options{Seed: s.PlaceSeed, Iters: s.PlaceIters})
-	if err != nil {
-		return nil, fmt.Errorf("chipcfg %s: placement: %w", s.Name, err)
+	leak := power.DefaultLeakage()
+
+	var pl place.Result
+	if data == nil {
+		inf, err := thermal.NewInfluence(tn)
+		if err != nil {
+			return nil, fmt.Errorf("chipcfg %s: influence: %w", s.Name, err)
+		}
+		// Thermally-aware placement on the unit-scale compute power
+		// profile (the scale cancels out of the argmax).
+		ops := appmap.OpsPerPE(code, part)
+		pePower := make([]float64, g.N())
+		for i, o := range ops {
+			pePower[i] = float64(o) * baseEnergy.PEOpJ
+		}
+		ioTraffic := make([]int64, g.N())
+		for v := 0; v < code.N; v++ {
+			ioTraffic[part.VarPE[v]]++ // one LLR in and one decision out per variable
+		}
+		pl, err = place.Anneal(&place.Problem{
+			Grid: g, Inf: inf, PEPower: pePower,
+			Traffic: appmap.TrafficMatrix(code, part), CommWeight: s.CommWeight,
+			IOTraffic: ioTraffic, IOCoord: s.ioCoord(g), IOWeight: s.IOWeight,
+		}, place.Options{Seed: s.PlaceSeed, Iters: s.PlaceIters, Restarts: s.PlaceRestarts})
+		if err != nil {
+			return nil, fmt.Errorf("chipcfg %s: placement: %w", s.Name, err)
+		}
+	} else {
+		pl = place.Result{
+			Place:    append([]int(nil), data.Placement...),
+			PeakC:    data.PeakC,
+			CommHops: data.CommHops,
+			Cost:     data.Cost,
+			Accepted: data.Accepted,
+		}
 	}
 
 	// Workload block (deterministic).
@@ -241,23 +364,32 @@ func (s Spec) Build() (*Built, error) {
 	}
 	llr := ch.Transmit(cw)
 
-	// Reference activity at the placed configuration for calibration.
 	if err := eng.SetPlacement(pl.Place); err != nil {
 		return nil, fmt.Errorf("chipcfg %s: placement apply: %w", s.Name, err)
 	}
-	net.ResetStats()
-	blk, err := eng.Decode(llr)
-	if err != nil {
-		return nil, fmt.Errorf("chipcfg %s: calibration decode: %w", s.Name, err)
-	}
 	const clockHz = 250e6
-	dur := float64(blk.Cycles) / clockHz
-	unitPower := net.Act.PowerMap(baseEnergy, dur)
-
-	leak := power.DefaultLeakage()
-	scale, staticPeak, err := calibrateScale(tn, unitPower, leak, s.BasePeakC)
-	if err != nil {
-		return nil, fmt.Errorf("chipcfg %s: calibration: %w", s.Name, err)
+	var scale, staticPeak float64
+	var blockCycles int64
+	if data == nil {
+		// Reference activity at the placed configuration for calibration.
+		net.ResetStats()
+		blk, err := eng.Decode(llr)
+		if err != nil {
+			return nil, fmt.Errorf("chipcfg %s: calibration decode: %w", s.Name, err)
+		}
+		dur := float64(blk.Cycles) / clockHz
+		unitPower := net.Act.PowerMap(baseEnergy, dur)
+		scale, staticPeak, err = calibrateScale(tn, unitPower, leak, s.BasePeakC)
+		if err != nil {
+			return nil, fmt.Errorf("chipcfg %s: calibration: %w", s.Name, err)
+		}
+		blockCycles = blk.Cycles
+	} else {
+		// The snapshot carries the calibration outcome; everything the
+		// decode fed into it is already folded into these numbers, and
+		// everything downstream (Characterize, clones) resets placement
+		// and activity statistics itself before measuring.
+		scale, staticPeak, blockCycles = data.EnergyScale, data.StaticPeakC, data.BlockCycles
 	}
 
 	mig := core.NewMigrator(net)
@@ -281,7 +413,7 @@ func (s Spec) Build() (*Built, error) {
 		System:      sys,
 		EnergyScale: scale,
 		StaticPeakC: staticPeak,
-		BlockCycles: blk.Cycles,
+		BlockCycles: blockCycles,
 		PlaceResult: pl,
 	}, nil
 }

@@ -2,11 +2,13 @@ package chipcfg
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"hotnoc/internal/core"
 	"hotnoc/internal/floorplan"
 	"hotnoc/internal/geom"
+	"hotnoc/internal/place"
 	"hotnoc/internal/power"
 	"hotnoc/internal/thermal"
 )
@@ -138,6 +140,129 @@ func TestScaledRunEndToEnd(t *testing.T) {
 	}
 	if res.ThroughputPenalty <= 0 || res.ThroughputPenalty > 0.3 {
 		t.Errorf("throughput penalty %.4f implausible", res.ThroughputPenalty)
+	}
+}
+
+// TestBuildDataRoundTrip: reconstituting a build from its snapshot skips
+// annealing entirely and reproduces the original bit for bit — metadata,
+// placement, and a full scheme evaluation.
+func TestBuildDataRoundTrip(t *testing.T) {
+	spec, _ := ByName("A")
+	spec = spec.Scaled(8)
+	cold, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := cold.Data()
+
+	anneals := place.AnnealCount()
+	warm, err := spec.FromData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := place.AnnealCount() - anneals; got != 0 {
+		t.Fatalf("FromData ran %d annealing searches, want 0", got)
+	}
+
+	if warm.EnergyScale != cold.EnergyScale || warm.StaticPeakC != cold.StaticPeakC ||
+		warm.BlockCycles != cold.BlockCycles {
+		t.Fatalf("restored metadata differs: scale %g/%g peak %g/%g cycles %d/%d",
+			warm.EnergyScale, cold.EnergyScale, warm.StaticPeakC, cold.StaticPeakC,
+			warm.BlockCycles, cold.BlockCycles)
+	}
+	if warm.PlaceResult.Cost != cold.PlaceResult.Cost ||
+		warm.PlaceResult.Accepted != cold.PlaceResult.Accepted {
+		t.Fatal("restored placement report differs")
+	}
+	for i := range cold.System.InitialPlace {
+		if warm.System.InitialPlace[i] != cold.System.InitialPlace[i] {
+			t.Fatalf("restored placement differs at %d", i)
+		}
+	}
+
+	coldRes, err := cold.System.Run(core.RunConfig{Scheme: core.XYShift()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := warm.System.Run(core.RunConfig{Scheme: core.XYShift()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatalf("restored build evaluates differently:\ncold %+v\nwarm %+v", coldRes, warmRes)
+	}
+}
+
+// TestBuildDataValidate: snapshots for the wrong configuration, grid,
+// placement or calibration are rejected before any system is assembled.
+func TestBuildDataValidate(t *testing.T) {
+	spec, _ := ByName("A")
+	spec = spec.Scaled(8)
+	b, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := b.Data()
+	if err := good.Validate(spec); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	mutate := func(f func(*BuildData)) *BuildData {
+		d := *good
+		d.Placement = append([]int(nil), good.Placement...)
+		f(&d)
+		return &d
+	}
+	cases := map[string]*BuildData{
+		"config":     mutate(func(d *BuildData) { d.Config = "B" }),
+		"gridn":      mutate(func(d *BuildData) { d.GridN = 5 }),
+		"short":      mutate(func(d *BuildData) { d.Placement = d.Placement[:4] }),
+		"dup":        mutate(func(d *BuildData) { d.Placement[0] = d.Placement[1] }),
+		"range":      mutate(func(d *BuildData) { d.Placement[0] = -1 }),
+		"scale-zero": mutate(func(d *BuildData) { d.EnergyScale = 0 }),
+		"scale-nan":  mutate(func(d *BuildData) { d.EnergyScale = math.NaN() }),
+		"peak":       mutate(func(d *BuildData) { d.StaticPeakC += 1 }),
+		"cycles":     mutate(func(d *BuildData) { d.BlockCycles = 0 }),
+	}
+	for name, d := range cases {
+		if err := d.Validate(spec); err == nil {
+			t.Errorf("%s: corrupted snapshot accepted", name)
+		}
+		if _, err := spec.FromData(d); err == nil {
+			t.Errorf("%s: FromData accepted a corrupted snapshot", name)
+		}
+	}
+	if _, err := spec.FromData(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+// TestBuildWithRestartsNeverWorse: a spec annealing with restarts finds a
+// placement at most as costly as the single-seed search, and the build
+// remains deterministic.
+func TestBuildWithRestartsNeverWorse(t *testing.T) {
+	spec, _ := ByName("A")
+	spec = spec.Scaled(16)
+	single, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.PlaceRestarts = 3
+	multiA, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiB, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multiA.PlaceResult.Cost > single.PlaceResult.Cost {
+		t.Fatalf("3-restart cost %g worse than single-seed %g",
+			multiA.PlaceResult.Cost, single.PlaceResult.Cost)
+	}
+	if multiA.PlaceResult.Cost != multiB.PlaceResult.Cost ||
+		multiA.EnergyScale != multiB.EnergyScale {
+		t.Fatal("restarted build not deterministic")
 	}
 }
 

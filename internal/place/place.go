@@ -16,11 +16,24 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hotnoc/internal/geom"
 	"hotnoc/internal/power"
 	"hotnoc/internal/thermal"
 )
+
+// annealRuns counts annealing searches started in this process, one per
+// restart. The sweep layer's build cache exists to make this number zero
+// on a warm start, and tests assert exactly that through AnnealCount.
+var annealRuns atomic.Uint64
+
+// AnnealCount reports how many annealing searches this process has run
+// (each restart of a multi-restart Anneal counts once). A build
+// reconstituted from a persisted snapshot performs none.
+func AnnealCount() uint64 { return annealRuns.Load() }
 
 // Problem describes one placement instance over a grid of PEs.
 type Problem struct {
@@ -109,6 +122,15 @@ type Options struct {
 	TStart, TEnd float64
 	// Initial, when non-nil, seeds the search; otherwise identity.
 	Initial []int
+	// Restarts runs that many independently-seeded searches (seeds Seed,
+	// Seed+1, ..., Seed+Restarts-1) and returns the best result by cost,
+	// ties broken by the lowest seed. Restarts run concurrently on a
+	// bounded worker pool, and the outcome is bitwise identical regardless
+	// of how the pool schedules them. Zero or one means a single search.
+	Restarts int
+	// Parallel bounds the restart worker pool (0 = GOMAXPROCS). It only
+	// affects wall-clock time, never the result.
+	Parallel int
 }
 
 func (o *Options) setDefaults() {
@@ -120,6 +142,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.TEnd <= 0 || o.TEnd >= o.TStart {
 		o.TEnd = 0.01
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -138,15 +163,15 @@ type Result struct {
 }
 
 // Anneal searches for a placement minimising the combined objective.
+// With Options.Restarts > 1 it runs that many independently-seeded
+// searches concurrently and returns the deterministic best.
 func Anneal(p *Problem, opts Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	opts.setDefaults()
-	n := p.Grid.N()
-
-	cur := make([]int, n)
 	if opts.Initial != nil {
+		n := p.Grid.N()
 		if len(opts.Initial) != n {
 			return Result{}, fmt.Errorf("place: initial placement has %d entries for %d PEs",
 				len(opts.Initial), n)
@@ -158,6 +183,52 @@ func Anneal(p *Problem, opts Options) (Result, error) {
 			}
 			seen[b] = true
 		}
+	}
+	if opts.Restarts <= 1 {
+		return annealOnce(p, opts, opts.Seed), nil
+	}
+
+	// Independent restarts on a bounded pool. Every restart is a pure
+	// function of (problem, options, seed), results land in a slice
+	// indexed by restart, and the winner is chosen by a deterministic
+	// scan — so the outcome cannot depend on worker count or scheduling.
+	results := make([]Result, opts.Restarts)
+	workers := min(opts.Parallel, opts.Restarts)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = annealOnce(p, opts, opts.Seed+int64(i))
+			}
+		}()
+	}
+	for i := range results {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	best := 0
+	for i := 1; i < len(results); i++ {
+		// Strict inequality keeps the lowest seed on ties.
+		if results[i].Cost < results[best].Cost {
+			best = i
+		}
+	}
+	return results[best], nil
+}
+
+// annealOnce is one simulated-annealing search from one seed. The caller
+// has validated the problem and the initial placement.
+func annealOnce(p *Problem, opts Options, seed int64) Result {
+	annealRuns.Add(1)
+	n := p.Grid.N()
+
+	cur := make([]int, n)
+	if opts.Initial != nil {
 		copy(cur, opts.Initial)
 	} else {
 		for i := range cur {
@@ -165,7 +236,7 @@ func Anneal(p *Problem, opts Options) (Result, error) {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := rand.New(rand.NewSource(seed))
 	eval := func(place []int) (float64, float64, float64) {
 		peak := p.Inf.PeakTemp(power.Permute(p.PEPower, place))
 		hops := 0.0
@@ -219,7 +290,7 @@ func Anneal(p *Problem, opts Options) (Result, error) {
 		CommHops: bestHops,
 		Cost:     bestCost,
 		Accepted: accepted,
-	}, nil
+	}
 }
 
 // commHops computes total message-hops of a placement: traffic volume

@@ -210,6 +210,111 @@ func TestAnnealInitialValidation(t *testing.T) {
 	}
 }
 
+// TestAnnealRestartsDeterministicAcrossParallelism: a multi-restart
+// search returns bitwise-identical results whatever the worker-pool
+// size — the scheduling of restarts must not leak into the outcome.
+func TestAnnealRestartsDeterministicAcrossParallelism(t *testing.T) {
+	inf, g := testInfluence(t, 4)
+	pw := skewedPower(16, 13)
+	prob := &Problem{Grid: g, Inf: inf, PEPower: pw}
+	var ref Result
+	for i, par := range []int{1, 2, 4, 7} {
+		res, err := Anneal(prob, Options{Seed: 20, Iters: 1500, Restarts: 6, Parallel: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Cost != ref.Cost || res.PeakC != ref.PeakC || res.Accepted != ref.Accepted {
+			t.Fatalf("parallel=%d: result (%g, %g, %d) differs from parallel=1 (%g, %g, %d)",
+				par, res.Cost, res.PeakC, res.Accepted, ref.Cost, ref.PeakC, ref.Accepted)
+		}
+		for j := range res.Place {
+			if res.Place[j] != ref.Place[j] {
+				t.Fatalf("parallel=%d: placement differs at %d", par, j)
+			}
+		}
+	}
+}
+
+// TestAnnealRestartsPickBest: the multi-restart result equals the best
+// (lowest-cost, lowest-seed on ties) of the individual seeded runs.
+func TestAnnealRestartsPickBest(t *testing.T) {
+	inf, g := testInfluence(t, 4)
+	pw := skewedPower(16, 14)
+	prob := &Problem{Grid: g, Inf: inf, PEPower: pw}
+	const seed, restarts = 30, 5
+	best := -1
+	var bestRes Result
+	for i := 0; i < restarts; i++ {
+		res, err := Anneal(prob, Options{Seed: seed + int64(i), Iters: 1200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || res.Cost < bestRes.Cost {
+			best, bestRes = i, res
+		}
+	}
+	multi, err := Anneal(prob, Options{Seed: seed, Iters: 1200, Restarts: restarts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Cost != bestRes.Cost {
+		t.Fatalf("restarts returned cost %g, best individual seed (%d) has %g",
+			multi.Cost, best, bestRes.Cost)
+	}
+	for i := range multi.Place {
+		if multi.Place[i] != bestRes.Place[i] {
+			t.Fatalf("restart winner's placement differs from seed %d's at %d", best, i)
+		}
+	}
+}
+
+// TestAnnealRestartsTieBreakLowestSeed: when every restart reaches the
+// same cost (uniform power, no communication terms: every placement is
+// equivalent), the winner must be the lowest seed's result.
+func TestAnnealRestartsTieBreakLowestSeed(t *testing.T) {
+	inf, g := testInfluence(t, 4)
+	pw := make([]float64, 16)
+	for i := range pw {
+		pw[i] = 0.5
+	}
+	prob := &Problem{Grid: g, Inf: inf, PEPower: pw}
+	single, err := Anneal(prob, Options{Seed: 40, Iters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Anneal(prob, Options{Seed: 40, Iters: 300, Restarts: 4, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Cost != single.Cost || multi.Accepted != single.Accepted {
+		t.Fatalf("tie not broken by lowest seed: multi (%g, %d) vs seed-40 single (%g, %d)",
+			multi.Cost, multi.Accepted, single.Cost, single.Accepted)
+	}
+	for i := range multi.Place {
+		if multi.Place[i] != single.Place[i] {
+			t.Fatalf("tie winner differs from lowest seed's placement at %d", i)
+		}
+	}
+}
+
+// TestAnnealCountCountsRestarts: the process-wide counter advances once
+// per restart — it is what warm-start tests assert stays flat.
+func TestAnnealCountCountsRestarts(t *testing.T) {
+	inf, g := testInfluence(t, 4)
+	prob := &Problem{Grid: g, Inf: inf, PEPower: skewedPower(16, 15)}
+	before := AnnealCount()
+	if _, err := Anneal(prob, Options{Seed: 50, Iters: 100, Restarts: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := AnnealCount() - before; got != 3 {
+		t.Fatalf("3 restarts advanced the anneal counter by %d", got)
+	}
+}
+
 // TestPermutedPowerPeakConsistency: the annealer's reported peak matches an
 // independent evaluation of its placement.
 func TestPermutedPowerPeakConsistency(t *testing.T) {

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+
+	"hotnoc/internal/chipcfg"
+)
+
+// buildFormatVersion gates disk entries: bump it whenever assembly,
+// placement or calibration changes in a way that invalidates persisted
+// build snapshots. Entries with any other version are rebuilt.
+const buildFormatVersion = 1
+
+// BuildKey identifies one persisted build: a (configuration, scale)
+// pair. Placement annealing and energy calibration are pure functions of
+// this key, which is what makes persisting their outcome sound.
+type BuildKey struct {
+	Config string
+	Scale  int
+}
+
+// diskBuild is the on-disk envelope of one persisted build. The key is
+// stored alongside the payload so a renamed or copied file cannot serve
+// the wrong build, and GridN guards the payload's dimensions before the
+// spec-level revalidation in chipcfg.FromData.
+type diskBuild struct {
+	Version int
+	Key     BuildKey
+	GridN   int
+	Data    chipcfg.BuildData
+}
+
+// BuildCache builds each (configuration, scale) once and shares the
+// result across all workers and runs. Concurrent requests for the same
+// key block on a single build; different keys build in parallel. With a
+// directory configured, the expensive products of each build — the
+// annealed placement and the energy calibration — persist as gob
+// snapshots (chipcfg.BuildData), so a fresh process pointed at the same
+// directory reconstitutes its builds by deterministic assembly alone:
+// zero annealing, zero calibration, bitwise-identical evaluations.
+// Corrupt, stale or mismatched snapshots are ignored (and overwritten
+// after a fresh build), never fatal.
+//
+// A failed build is never cached: the failing request reports the error
+// and the key is forgotten, so the next request retries rather than
+// replaying the failure for the cache's lifetime.
+//
+// A positive limit bounds the number of build snapshot files in the
+// directory with least-recently-used eviction, independently of the
+// characterization files sharing it (each artifact kind has its own
+// prefix and its own bound).
+type BuildCache struct {
+	disk   diskCache
+	flight singleflight[BuildKey, *chipcfg.Built]
+
+	// build constructs a cold build; tests inject failures here. The
+	// default resolves the spec and runs the full anneal + calibrate
+	// pipeline.
+	build func(config string, scale int) (*chipcfg.Built, error)
+}
+
+// NewBuildCache returns a cache persisting build snapshots under dir; an
+// empty dir keeps the cache memory-only (every process pays its own
+// annealing and calibration once per key). A positive limit bounds the
+// snapshot file count under dir with least-recently-used eviction; zero
+// means unbounded.
+func NewBuildCache(dir string, limit int) *BuildCache {
+	return &BuildCache{
+		disk: diskCache{dir: dir, limit: limit, prefix: "build"},
+		build: func(config string, scale int) (*chipcfg.Built, error) {
+			spec, err := chipcfg.ByName(config)
+			if err != nil {
+				return nil, err
+			}
+			return spec.Scaled(scale).Build()
+		},
+	}
+}
+
+// Get returns the calibrated build for (config, scale), reconstituting it
+// from a persisted snapshot when one validates, and constructing it —
+// annealing and calibrating — otherwise. The returned flag reports a
+// cache hit: true when the expensive stages were skipped (entry already
+// in memory or restored from disk), false when a cold build ran. A build
+// error is returned to this caller and any goroutine that was blocked on
+// the same key, but is not cached; the next request for the key retries.
+func (c *BuildCache) Get(config string, scale int) (*chipcfg.Built, bool, error) {
+	key := BuildKey{Config: config, Scale: scale}
+	return c.flight.do(key,
+		func() (*chipcfg.Built, bool) {
+			b := c.load(key)
+			return b, b != nil
+		},
+		func() (*chipcfg.Built, error) {
+			b, err := c.build(config, scale)
+			if err != nil {
+				return nil, err
+			}
+			c.save(key, b)
+			return b, nil
+		},
+		func(last *atomic.Int64) {
+			// Keep hot in-memory builds visible to the on-disk LRU,
+			// debounced to at most one syscall per entry per interval.
+			c.disk.touchDebounced(c.path(key), last)
+		})
+}
+
+// path maps a key to its snapshot file under the cache directory.
+func (c *BuildCache) path(key BuildKey) string {
+	return filepath.Join(c.disk.dir, fmt.Sprintf("build_%s_s%d_%s.gob",
+		slug(key.Config), key.Scale, nameHash(key.Config)))
+}
+
+// load reconstitutes a persisted build, returning nil on any problem — a
+// missing, corrupt, stale-format, mismatched or spec-invalid snapshot
+// means "build it again", never an error. A restored snapshot passes
+// both the envelope checks here and chipcfg.FromData's revalidation
+// against the (scaled) spec before it is trusted.
+func (c *BuildCache) load(key BuildKey) *chipcfg.Built {
+	var db diskBuild
+	if !c.disk.load(c.path(key), &db) {
+		return nil
+	}
+	if db.Version != buildFormatVersion || db.Key != key {
+		return nil
+	}
+	spec, err := chipcfg.ByName(key.Config)
+	if err != nil || db.GridN != spec.GridN {
+		return nil
+	}
+	built, err := spec.Scaled(key.Scale).FromData(&db.Data)
+	if err != nil {
+		return nil
+	}
+	// Touch the file so LRU eviction sees a served snapshot as recently
+	// used, not as old as its original write.
+	c.disk.touch(c.path(key))
+	return built
+}
+
+// save persists a build's snapshot best-effort; see diskCache.save.
+func (c *BuildCache) save(key BuildKey, built *chipcfg.Built) {
+	if built == nil {
+		return
+	}
+	c.disk.save(c.path(key), diskBuild{
+		Version: buildFormatVersion,
+		Key:     key,
+		GridN:   built.Spec.GridN,
+		Data:    *built.Data(),
+	})
+}

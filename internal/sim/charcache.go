@@ -1,16 +1,9 @@
 package sim
 
 import (
-	"encoding/gob"
 	"fmt"
-	"hash/fnv"
-	"os"
 	"path/filepath"
-	"sort"
-	"strings"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"hotnoc/internal/core"
 )
@@ -50,128 +43,81 @@ type diskChar struct {
 // Corrupt, stale or mismatched disk entries are ignored (and overwritten
 // after recomputation), never fatal.
 //
-// A positive limit bounds the number of files kept in the directory:
-// serving an entry refreshes its modification time, and writing one past
-// the bound evicts the least-recently-used files, so a long-lived service
-// sweeping many scales and schemes cannot grow the directory without
-// bound. The in-memory map is not bounded — live entries are shared and
-// small in number compared with the files a service accretes over months.
+// A failed computation is never cached: the error reaches the failing
+// request and every request that was blocked on it, and the key is
+// forgotten, so the next request retries. A transient failure (exhausted
+// memory, a canceled context) therefore cannot poison a key for the life
+// of a long-lived service.
+//
+// A positive limit bounds the number of characterization files kept in
+// the directory: serving an entry refreshes its modification time (at
+// most once per entry per touchInterval, so hot keys cost no syscalls),
+// and writing one past the bound evicts the least-recently-used files, so
+// a long-lived service sweeping many scales and schemes cannot grow the
+// directory without bound. The in-memory map is not bounded — live
+// entries are shared and small in number compared with the files a
+// service accretes over months.
 type CharCache struct {
-	dir   string
-	limit int
-
-	mu      sync.Mutex
-	entries map[CharKey]*charEntry
-}
-
-type charEntry struct {
-	once sync.Once
-	data *core.CharData
-	err  error
-	// resolved flips once the entry is populated; fromDisk records that
-	// it came from a persisted file. Together they let each Get report
-	// whether *its* call skipped the NoC stage — a caller that merely
-	// waited on another goroutine's in-flight compute is not a hit.
-	resolved atomic.Bool
-	fromDisk bool
+	disk   diskCache
+	flight singleflight[CharKey, *core.CharData]
 }
 
 // NewCharCache returns a cache persisting under dir; an empty dir keeps
-// the cache memory-only. A positive limit bounds the file count under
-// dir with least-recently-used eviction; zero means unbounded.
+// the cache memory-only. A positive limit bounds the characterization
+// file count under dir with least-recently-used eviction; zero means
+// unbounded.
 func NewCharCache(dir string, limit int) *CharCache {
-	return &CharCache{dir: dir, limit: limit, entries: map[CharKey]*charEntry{}}
+	return &CharCache{disk: diskCache{dir: dir, limit: limit, prefix: "char"}}
 }
 
 // Get returns the characterization for key, running compute on first use
 // unless a valid disk entry exists. gridN is the chip's block count,
 // used to validate deserialized entries. The returned flag reports a
 // cache hit: true when the NoC stage was skipped (entry already in
-// memory or restored from disk), false when compute ran.
+// memory or restored from disk), false when compute ran — a caller that
+// merely waited on another goroutine's in-flight compute is not a hit,
+// because the sweep did pay for the NoC stage. A compute error is
+// returned to this caller and any goroutine that was blocked on the same
+// key, but is not cached: the key is cleared so the next request
+// retries.
 func (c *CharCache) Get(key CharKey, gridN int, compute func() (*core.CharData, error)) (*core.CharData, bool, error) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &charEntry{}
-		c.entries[key] = e
-	}
-	c.mu.Unlock()
-
-	alreadyResolved := e.resolved.Load()
-	e.once.Do(func() {
-		defer e.resolved.Store(true)
-		if d := c.load(key, gridN); d != nil {
-			e.data = d
-			e.fromDisk = true
-			return
-		}
-		e.data, e.err = compute()
-		if e.err == nil {
-			c.save(key, gridN, e.data)
-		}
-	})
-	hit := (alreadyResolved || e.fromDisk) && e.err == nil
-	if hit && alreadyResolved {
-		// Memory hits must count as use for the on-disk LRU too —
-		// load() touched the file once, but a long-lived service serves
-		// hot entries from memory for months afterwards, and those
-		// entries must not look idle to eviction.
-		c.touch(key)
-	}
-	return e.data, hit, e.err
-}
-
-// touch refreshes a persisted entry's modification time so eviction sees
-// it as recently used. Best effort, like all disk operations here.
-func (c *CharCache) touch(key CharKey) {
-	if c.dir == "" {
-		return
-	}
-	now := time.Now()
-	_ = os.Chtimes(c.path(key), now, now)
+	return c.flight.do(key,
+		func() (*core.CharData, bool) {
+			d := c.load(key, gridN)
+			return d, d != nil
+		},
+		func() (*core.CharData, error) {
+			d, err := compute()
+			if err != nil {
+				return nil, err
+			}
+			c.save(key, gridN, d)
+			return d, nil
+		},
+		func(last *atomic.Int64) {
+			// Memory hits must count as use for the on-disk LRU too —
+			// load() touched the file once, but a long-lived service
+			// serves hot entries from memory for months afterwards, and
+			// those entries must not look idle to eviction. Debounced:
+			// chunked sweeps hit one key up to Workers times.
+			c.disk.touchDebounced(c.path(key), last)
+		})
 }
 
 // path maps a key to its file under the cache directory. The slugs keep
 // filenames readable; the hash of the raw names keeps distinct keys that
-// slug identically (e.g. custom scheme names differing only in
-// punctuation) from evicting each other's entries.
+// slug identically from evicting each other's entries.
 func (c *CharCache) path(key CharKey) string {
-	h := fnv.New32a()
-	h.Write([]byte(key.Config))
-	h.Write([]byte{0})
-	h.Write([]byte(key.Scheme))
-	return filepath.Join(c.dir, fmt.Sprintf("char_%s_%s_s%d_%08x.gob",
-		slug(key.Config), slug(key.Scheme), key.Scale, h.Sum32()))
-}
-
-// slug folds a name into a filesystem-safe token.
-func slug(s string) string {
-	var b strings.Builder
-	for _, r := range strings.ToLower(s) {
-		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('-')
-		}
-	}
-	return b.String()
+	return filepath.Join(c.disk.dir, fmt.Sprintf("char_%s_%s_s%d_%s.gob",
+		slug(key.Config), slug(key.Scheme), key.Scale, nameHash(key.Config, key.Scheme)))
 }
 
 // load restores a disk entry, returning nil on any problem — a missing,
 // unreadable, corrupt, stale-format or mismatched file means "compute it
 // again", never an error.
 func (c *CharCache) load(key CharKey, gridN int) *core.CharData {
-	if c.dir == "" {
-		return nil
-	}
-	f, err := os.Open(c.path(key))
-	if err != nil {
-		return nil
-	}
-	defer f.Close()
 	var dc diskChar
-	if err := gob.NewDecoder(f).Decode(&dc); err != nil {
+	if !c.disk.load(c.path(key), &dc) {
 		return nil
 	}
 	if dc.Version != charFormatVersion || dc.Key != key || dc.GridN != gridN {
@@ -182,73 +128,19 @@ func (c *CharCache) load(key CharKey, gridN int) *core.CharData {
 	}
 	// Touch the file so LRU eviction sees a served entry as recently
 	// used, not as old as its original write.
-	c.touch(key)
+	c.disk.touch(c.path(key))
 	return &dc.Data
 }
 
-// save persists an entry best-effort: a sweep never fails because its
-// cache directory is read-only or full. The write goes through a temp
-// file and rename so concurrent processes see either the old entry or
-// the complete new one, never a torn file.
+// save persists an entry best-effort; see diskCache.save.
 func (c *CharCache) save(key CharKey, gridN int, data *core.CharData) {
-	if c.dir == "" || data == nil {
+	if data == nil {
 		return
 	}
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return
-	}
-	path := c.path(key)
-	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return
-	}
-	defer os.Remove(tmp.Name())
-	enc := gob.NewEncoder(tmp)
-	if err := enc.Encode(diskChar{
+	c.disk.save(c.path(key), diskChar{
 		Version: charFormatVersion,
 		Key:     key,
 		GridN:   gridN,
 		Data:    *data,
-	}); err != nil {
-		tmp.Close()
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		return
-	}
-	if os.Rename(tmp.Name(), path) == nil {
-		c.evict()
-	}
-}
-
-// evict enforces the file-count bound: when more than limit
-// characterization files live under the directory, the oldest-touched
-// ones are removed until the count fits. Like save, eviction is best
-// effort — an unreadable directory or a losing race with a concurrent
-// process is ignored. The file just written is by construction the
-// newest, so it survives its own eviction pass.
-func (c *CharCache) evict() {
-	if c.limit <= 0 {
-		return
-	}
-	matches, err := filepath.Glob(filepath.Join(c.dir, "char_*.gob"))
-	if err != nil || len(matches) <= c.limit {
-		return
-	}
-	type aged struct {
-		path string
-		mod  time.Time
-	}
-	files := make([]aged, 0, len(matches))
-	for _, m := range matches {
-		fi, err := os.Stat(m)
-		if err != nil {
-			continue
-		}
-		files = append(files, aged{path: m, mod: fi.ModTime()})
-	}
-	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
-	for i := 0; i < len(files)-c.limit; i++ {
-		_ = os.Remove(files[i].path)
-	}
+	})
 }

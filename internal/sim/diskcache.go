@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// diskCache is the on-disk half shared by the sweep layer's caches: gob
+// envelopes written atomically (temp file + rename), best-effort reads
+// where any problem means "recompute", per-kind LRU eviction over the
+// file count, and a debounced modification-time touch so hot in-memory
+// entries stay visible to eviction without a syscall per request. The
+// characterization cache and the build cache each own one, differing only
+// in prefix (artifact kind) and envelope type.
+type diskCache struct {
+	dir    string
+	limit  int
+	prefix string // artifact kind; files are named <prefix>_*.gob
+}
+
+// enabled reports whether persistence is configured at all.
+func (c *diskCache) enabled() bool { return c.dir != "" }
+
+// load restores one gob envelope into v, returning false on any problem —
+// a missing, unreadable or corrupt file means "compute it again", never
+// an error. Semantic validation (version, key, payload) is the caller's.
+func (c *diskCache) load(path string, v any) bool {
+	if !c.enabled() {
+		return false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	return gob.NewDecoder(f).Decode(v) == nil
+}
+
+// save persists one envelope best-effort: a sweep never fails because its
+// cache directory is read-only or full. The write goes through a temp
+// file and rename so concurrent processes see either the old entry or the
+// complete new one, never a torn file. A successful write triggers an
+// eviction pass.
+func (c *diskCache) save(path string, v any) {
+	if !c.enabled() {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	if os.Rename(tmp.Name(), path) == nil {
+		c.evict()
+	}
+}
+
+// touch refreshes a persisted entry's modification time so eviction sees
+// it as recently used. Best effort, like all disk operations here.
+func (c *diskCache) touch(path string) {
+	if !c.enabled() {
+		return
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+}
+
+// touchInterval debounces LRU touches on memory hits: one entry issues at
+// most one Chtimes syscall per interval, however hot it runs. Eviction
+// granularity only needs to distinguish entries idle for days from
+// entries served this minute. A variable so tests can pin it.
+var touchInterval = time.Minute
+
+// touchDebounced is touch rate-limited through last, which records the
+// entry's previous touch as unix nanoseconds. Chunked sweeps hitting one
+// key once per worker — and long-lived services serving one hot key for
+// months — stay syscall-free between intervals.
+func (c *diskCache) touchDebounced(path string, last *atomic.Int64) {
+	if !c.enabled() {
+		return
+	}
+	now := time.Now().UnixNano()
+	prev := last.Load()
+	if now-prev < int64(touchInterval) {
+		return
+	}
+	if !last.CompareAndSwap(prev, now) {
+		return // another goroutine claimed this interval's touch
+	}
+	c.touch(path)
+}
+
+// evict enforces the file-count bound for this cache's artifact kind:
+// when more than limit files carry its prefix, the oldest-touched ones
+// are removed until the count fits. Best effort — an unreadable directory
+// or a losing race with a concurrent process is ignored. The file just
+// written is by construction the newest, so it survives its own pass.
+func (c *diskCache) evict() {
+	if c.limit <= 0 {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(c.dir, c.prefix+"_*.gob"))
+	if err != nil || len(matches) <= c.limit {
+		return
+	}
+	type aged struct {
+		path string
+		mod  time.Time
+	}
+	files := make([]aged, 0, len(matches))
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{path: m, mod: fi.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for i := 0; i < len(files)-c.limit; i++ {
+		_ = os.Remove(files[i].path)
+	}
+}
+
+// slug folds a name into a filesystem-safe token.
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// nameHash distinguishes raw names whose slugs collide (e.g. custom
+// scheme names differing only in punctuation), so such keys cannot evict
+// each other's entries.
+func nameHash(parts ...string) string {
+	h := fnv.New32a()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	return fmt.Sprintf("%08x", h.Sum32())
+}

@@ -9,9 +9,13 @@ type Stage string
 
 const (
 	// StageBuildStart / StageBuildDone bracket one configuration's
-	// construction and calibration. They fire once per (configuration,
-	// scale) over a runner's lifetime — a build served from the cache
-	// emits nothing.
+	// construction. They fire once per (configuration, scale) over a
+	// runner's lifetime — a build served from the runner's own memory
+	// afterwards emits nothing. The done event's CacheHit reports whether
+	// the build was reconstituted from a persisted snapshot (true) or
+	// annealed and calibrated cold (false). A failed build leaves its
+	// start event unpaired and releases the once-per-key claim, so a
+	// successful retry brackets normally.
 	StageBuildStart Stage = "build-start"
 	StageBuildDone  Stage = "build-done"
 	// StageCharacterizeStart fires when a (configuration, scheme) orbit
@@ -49,15 +53,23 @@ type Event struct {
 	Kind string
 	// CacheHit reports, on StageCharacterizeDone, that the orbit was
 	// served from the cross-run characterization cache (memory or disk)
-	// and the NoC stage was skipped.
+	// and the NoC stage was skipped — and, on StageBuildDone, that the
+	// build was reconstituted from a persisted snapshot and the annealing
+	// and calibration stages were skipped.
 	CacheHit bool
 }
 
 // String renders the event as a one-line log entry.
 func (e Event) String() string {
 	switch e.Stage {
-	case StageBuildStart, StageBuildDone:
+	case StageBuildStart:
 		return fmt.Sprintf("%s config %s scale %d", e.Stage, e.Config, e.Scale)
+	case StageBuildDone:
+		how := "built"
+		if e.CacheHit {
+			how = "cache hit"
+		}
+		return fmt.Sprintf("%s config %s scale %d (%s)", e.Stage, e.Config, e.Scale, how)
 	case StageCharacterizeStart:
 		return fmt.Sprintf("%s config %s scheme %s", e.Stage, e.Config, e.Scheme)
 	case StageCharacterizeDone:

@@ -1,10 +1,11 @@
 // Package sim is the sweep/orchestration layer over the raw simulator: it
 // executes an arbitrary configuration × scheme × period experiment grid
 // concurrently on a worker pool, building each chip configuration once,
-// characterizing each (configuration, scheme) orbit once — with a
-// cross-run characterization cache that can persist to disk — and
-// evaluating every period/ablation variant against that shared
-// characterization.
+// characterizing each (configuration, scheme) orbit once — with
+// cross-run build and characterization caches that can persist to disk,
+// so a warm restart performs neither placement annealing, energy
+// calibration nor cycle-accurate simulation — and evaluating every
+// period/ablation variant against that shared characterization.
 //
 // The paper's studies — Figure 1, the migration-period sweep, the
 // migration-energy ablation — are all instances of such grids, and the
@@ -145,14 +146,17 @@ type Options struct {
 	Scale int
 	// Workers bounds the worker pool (default GOMAXPROCS).
 	Workers int
-	// CacheDir persists NoC characterizations (gob files keyed by
-	// configuration, scheme and scale) so a fresh process pointed at the
-	// same directory skips the cycle-accurate stage. Empty keeps the
-	// characterization cache memory-only.
+	// CacheDir persists the two expensive artifact kinds as gob files:
+	// NoC characterizations (keyed by configuration, scheme and scale)
+	// and calibrated build snapshots (keyed by configuration and scale).
+	// A fresh process pointed at the same directory skips both the
+	// cycle-accurate NoC stage and the annealing + calibration stage.
+	// Empty keeps both caches memory-only.
 	CacheDir string
-	// CacheLimit bounds the number of characterization files kept under
-	// CacheDir; least-recently-used entries are evicted once the count
-	// exceeds it. Zero keeps the directory unbounded.
+	// CacheLimit bounds the number of files of each artifact kind kept
+	// under CacheDir (characterizations and build snapshots are bounded
+	// independently); least-recently-used entries are evicted once a
+	// kind's count exceeds it. Zero keeps the directory unbounded.
 	CacheLimit int
 	// Progress, when set, receives build/characterize/evaluate events as
 	// the sweep pipeline advances. Delivery is serialized; the callback
@@ -168,52 +172,6 @@ func (o Options) withDefaults() Options {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
-}
-
-// BuildCache builds each (configuration, scale) once and shares the result
-// across all workers and runs. Concurrent requests for the same key block
-// on a single build; different keys build in parallel.
-type BuildCache struct {
-	mu      sync.Mutex
-	entries map[buildKey]*buildEntry
-}
-
-type buildKey struct {
-	config string
-	scale  int
-}
-
-type buildEntry struct {
-	once  sync.Once
-	built *chipcfg.Built
-	err   error
-}
-
-// NewBuildCache returns an empty cache.
-func NewBuildCache() *BuildCache {
-	return &BuildCache{entries: map[buildKey]*buildEntry{}}
-}
-
-// Get returns the calibrated build for (config, scale), constructing it on
-// first use.
-func (c *BuildCache) Get(config string, scale int) (*chipcfg.Built, error) {
-	key := buildKey{config: config, scale: scale}
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &buildEntry{}
-		c.entries[key] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		spec, err := chipcfg.ByName(config)
-		if err != nil {
-			e.err = err
-			return
-		}
-		e.built, e.err = spec.Scaled(scale).Build()
-	})
-	return e.built, e.err
 }
 
 // Runner executes experiment grids. A Runner is safe for concurrent use
@@ -235,15 +193,27 @@ type Runner struct {
 	charHits   atomic.Uint64
 	charMisses atomic.Uint64
 
+	// buildHits / buildMisses count builds served from the cross-run
+	// cache (memory or reconstituted from a disk snapshot) versus
+	// constructed cold (annealed + calibrated). One count per
+	// (configuration, scale) over the runner's lifetime.
+	buildHits   atomic.Uint64
+	buildMisses atomic.Uint64
+
 	// busy gauges workers currently executing a task, for utilization
 	// reporting.
 	busy atomic.Int64
 
-	// progressMu serializes Progress callbacks; emittedBuilds ensures one
-	// start/done event pair per actual build.
-	progressMu    sync.Mutex
-	buildEventsMu sync.Mutex
-	emittedBuilds map[buildKey]bool
+	// progressMu serializes Progress callbacks. buildAccountMu guards the
+	// per-key build accounting: emittedBuilds claims the one build-start
+	// event (released on failure so a retry brackets again), and
+	// countedBuilds dedups the done event and the hit-or-miss count — the
+	// first request to resolve the key classifies it, exactly once,
+	// however failures and retries interleave.
+	progressMu     sync.Mutex
+	buildAccountMu sync.Mutex
+	emittedBuilds  map[BuildKey]bool
+	countedBuilds  map[BuildKey]bool
 }
 
 // NewRunner returns a runner with the given options.
@@ -251,9 +221,10 @@ func NewRunner(opts Options) *Runner {
 	opts = opts.withDefaults()
 	return &Runner{
 		opts:          opts,
-		builds:        NewBuildCache(),
+		builds:        NewBuildCache(opts.CacheDir, opts.CacheLimit),
 		chars:         NewCharCache(opts.CacheDir, opts.CacheLimit),
-		emittedBuilds: map[buildKey]bool{},
+		emittedBuilds: map[BuildKey]bool{},
+		countedBuilds: map[BuildKey]bool{},
 	}
 }
 
@@ -268,6 +239,15 @@ func (r *Runner) Decodes() uint64 { return r.decodes.Load() }
 // cycle-accurate NoC.
 func (r *Runner) CacheStats() (hits, misses uint64) {
 	return r.charHits.Load(), r.charMisses.Load()
+}
+
+// BuildStats returns how many configuration builds were served from the
+// cross-run build cache (memory or reconstituted from a persisted
+// snapshot) versus constructed cold with annealing and calibration. A
+// process warm-started from a populated cache directory reports zero
+// misses.
+func (r *Runner) BuildStats() (hits, misses uint64) {
+	return r.buildHits.Load(), r.buildMisses.Load()
 }
 
 // Workers returns the size of the runner's worker pool.
@@ -306,26 +286,50 @@ func emit(fn func(Event), ev Event) {
 }
 
 // builtFor resolves one configuration's calibrated build through the
-// cache, emitting one build event pair the first time the build actually
-// runs.
+// cache, emitting one build event pair — and taking one hit-or-miss
+// count — the first time the key resolves on this runner. The done
+// event's CacheHit reports whether the expensive stages were skipped
+// (snapshot restored from disk).
+//
+// The start event and the done-plus-count are claimed independently:
+// the first requester emits build-start before resolving, but the done
+// event and the hit-or-miss classification belong to whichever request
+// actually resolves the key first — concurrent requesters of one
+// resolution all observe the same hit flag, so the count is
+// well-defined however they race. On failure the start claim is
+// released for a later retry, unless a concurrent request resolved the
+// key in the meantime (its done event pairs with the start already
+// emitted).
 func (r *Runner) builtFor(config string, prog func(Event)) (*chipcfg.Built, error) {
-	key := buildKey{config: config, scale: r.opts.Scale}
-	first := false
-	r.buildEventsMu.Lock()
-	if !r.emittedBuilds[key] {
-		r.emittedBuilds[key] = true
-		first = true
-	}
-	r.buildEventsMu.Unlock()
+	key := BuildKey{Config: config, Scale: r.opts.Scale}
+	r.buildAccountMu.Lock()
+	first := !r.emittedBuilds[key]
+	r.emittedBuilds[key] = true
+	r.buildAccountMu.Unlock()
 	if first {
 		emit(prog, Event{Stage: StageBuildStart, Config: config, Scale: r.opts.Scale, Point: -1})
 	}
-	built, err := r.builds.Get(config, r.opts.Scale)
+	built, hit, err := r.builds.Get(config, r.opts.Scale)
 	if err != nil {
+		r.buildAccountMu.Lock()
+		if first && !r.countedBuilds[key] {
+			delete(r.emittedBuilds, key)
+		}
+		r.buildAccountMu.Unlock()
 		return nil, fmt.Errorf("sim: config %s: %w", config, err)
 	}
-	if first {
-		emit(prog, Event{Stage: StageBuildDone, Config: config, Scale: r.opts.Scale, Point: -1})
+	r.buildAccountMu.Lock()
+	count := !r.countedBuilds[key]
+	r.countedBuilds[key] = true
+	r.buildAccountMu.Unlock()
+	if count {
+		if hit {
+			r.buildHits.Add(1)
+		} else {
+			r.buildMisses.Add(1)
+		}
+		emit(prog, Event{Stage: StageBuildDone, Config: config, Scale: r.opts.Scale, Point: -1,
+			CacheHit: hit})
 	}
 	return built, nil
 }

@@ -28,10 +28,12 @@ const (
 // characterization cache, and exposes every experiment as a method.
 // Creating a Lab costs nothing; caches fill on demand and persist for the
 // Lab's lifetime, so a second sweep over the same grid performs zero NoC
-// characterizations. With WithCacheDir the characterization cache also
-// persists to disk, and a fresh process pointed at the same directory
-// warm-starts: it skips the cycle-accurate stage entirely and produces
-// results bitwise identical to a cold run.
+// characterizations. With WithCacheDir both caches also persist to disk —
+// NoC characterizations and calibrated build snapshots — and a fresh
+// process pointed at the same directory warm-starts: it skips the
+// cycle-accurate NoC stage, the simulated-annealing placement and the
+// energy calibration entirely, and produces results bitwise identical to
+// a cold run.
 //
 //	lab := hotnoc.NewLab(hotnoc.WithScale(8), hotnoc.WithCacheDir(".hotnoc-cache"))
 //	for out, err := range lab.Sweep(ctx, pts) {
@@ -58,9 +60,10 @@ func WithWorkers(n int) LabOption {
 	return func(o *sim.Options) { o.Workers = n }
 }
 
-// WithCacheDir persists NoC characterizations under dir for warm
+// WithCacheDir persists NoC characterizations and calibrated build
+// snapshots (annealed placement + energy calibration) under dir for warm
 // restarts. The directory is created on first write; corrupt or stale
-// entries are ignored and recomputed, never fatal.
+// entries of either kind are ignored and recomputed, never fatal.
 func WithCacheDir(dir string) LabOption {
 	return func(o *sim.Options) { o.CacheDir = dir }
 }
@@ -72,12 +75,13 @@ func WithProgress(fn func(Event)) LabOption {
 	return func(o *sim.Options) { o.Progress = fn }
 }
 
-// WithCacheLimit bounds the number of characterization files the cache
-// directory may hold; once exceeded, the least-recently-used entries are
-// evicted. Serving an entry counts as use. Zero (the default) keeps the
-// directory unbounded. The limit only matters with WithCacheDir — a
-// long-lived service sweeping many scales and schemes otherwise accretes
-// files without bound.
+// WithCacheLimit bounds the number of files of each cache artifact kind
+// (characterizations and build snapshots, bounded independently) the
+// cache directory may hold; once exceeded, the least-recently-used
+// entries of that kind are evicted. Serving an entry counts as use. Zero
+// (the default) keeps the directory unbounded. The limit only matters
+// with WithCacheDir — a long-lived service sweeping many scales and
+// schemes otherwise accretes files without bound.
 func WithCacheLimit(n int) LabOption {
 	return func(o *sim.Options) { o.CacheLimit = n }
 }
@@ -149,12 +153,20 @@ type LabStats struct {
 	// the cross-run cache versus simulated on the NoC.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// BuildHits / BuildMisses count configuration builds served from the
+	// cross-run build cache (memory, or reconstituted from a persisted
+	// snapshot) versus constructed cold with annealing and calibration. A
+	// Lab warm-started from a populated cache directory reports zero
+	// misses.
+	BuildHits   uint64 `json:"build_hits"`
+	BuildMisses uint64 `json:"build_misses"`
 }
 
 // Stats returns a snapshot of the Lab's decode counter, characterization
-// cache hit/miss counters, and worker-pool utilization.
+// and build cache hit/miss counters, and worker-pool utilization.
 func (l *Lab) Stats() LabStats {
 	hits, misses := l.runner.CacheStats()
+	bHits, bMisses := l.runner.BuildStats()
 	return LabStats{
 		Scale:       l.runner.Scale(),
 		Workers:     l.runner.Workers(),
@@ -162,6 +174,8 @@ func (l *Lab) Stats() LabStats {
 		Decodes:     l.runner.Decodes(),
 		CacheHits:   hits,
 		CacheMisses: misses,
+		BuildHits:   bHits,
+		BuildMisses: bMisses,
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"hotnoc/internal/place"
 )
 
 func labGrid() []SweepPoint {
@@ -48,8 +50,10 @@ func TestLabSecondSweepSkipsCharacterization(t *testing.T) {
 
 // TestLabWarmRestartFromDisk is the cross-process half of the acceptance
 // criterion: a fresh Lab (standing in for a fresh process) pointed at the
-// previous run's cache directory performs zero NoC characterizations and
-// reproduces the cold results bit for bit.
+// previous run's cache directory performs zero NoC characterizations,
+// zero annealing searches and zero calibrations — every build is
+// reconstituted from its persisted snapshot — and reproduces the cold
+// results bit for bit.
 func TestLabWarmRestartFromDisk(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
@@ -60,13 +64,21 @@ func TestLabWarmRestartFromDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var hits, misses int
+	var hits, misses, buildHitEvents, buildMissEvents int
+	anneals := place.AnnealCount()
 	lab2 := NewLab(WithScale(testScale), WithCacheDir(dir), WithProgress(func(ev Event) {
-		if ev.Stage == StageCharacterizeDone {
+		switch ev.Stage {
+		case StageCharacterizeDone:
 			if ev.CacheHit {
 				hits++
 			} else {
 				misses++
+			}
+		case StageBuildDone:
+			if ev.CacheHit {
+				buildHitEvents++
+			} else {
+				buildMissEvents++
 			}
 		}
 	}))
@@ -77,8 +89,19 @@ func TestLabWarmRestartFromDisk(t *testing.T) {
 	if got := lab2.Decodes(); got != 0 {
 		t.Fatalf("warm restart performed %d NoC decodes, want 0", got)
 	}
+	if got := place.AnnealCount() - anneals; got != 0 {
+		t.Fatalf("warm restart ran %d annealing searches, want 0", got)
+	}
 	if misses != 0 || hits == 0 {
 		t.Fatalf("warm restart saw %d cache hits, %d misses; want all hits", hits, misses)
+	}
+	if buildMissEvents != 0 || buildHitEvents != 2 {
+		t.Fatalf("warm restart build events: %d hits, %d misses; want 2 hits (A, E)",
+			buildHitEvents, buildMissEvents)
+	}
+	if st := lab2.Stats(); st.BuildMisses != 0 || st.BuildHits != 2 {
+		t.Fatalf("warm restart build stats: %d hits, %d misses; want 2 / 0",
+			st.BuildHits, st.BuildMisses)
 	}
 	for i := range cold {
 		if !reflect.DeepEqual(cold[i].Result, warm[i].Result) {
@@ -421,6 +444,10 @@ func TestLabStats(t *testing.T) {
 	}
 	if st.CacheMisses != 2 || st.CacheHits != 0 {
 		t.Fatalf("cold sweep counted %d misses / %d hits, want 2 / 0", st.CacheMisses, st.CacheHits)
+	}
+	if st.BuildMisses != 1 || st.BuildHits != 0 {
+		t.Fatalf("cold sweep counted %d build misses / %d hits, want 1 / 0",
+			st.BuildMisses, st.BuildHits)
 	}
 	if _, err := lab.SweepAll(context.Background(), pts); err != nil {
 		t.Fatal(err)

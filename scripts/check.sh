@@ -22,4 +22,7 @@ fi
 echo "== bench smoke (internal packages, 1 iteration)"
 go test -run '^$' -bench=. -benchtime=1x ./internal/...
 
+echo "== bench smoke (warm build reconstitution, 1 iteration)"
+go test -run '^$' -bench 'BenchmarkBuildWarm' -benchtime=1x .
+
 echo "ok"

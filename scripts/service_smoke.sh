@@ -4,10 +4,13 @@
 # scratch cache dir, runs the figure remotely, and requires the JSON to
 # be byte-identical to the in-process run — then runs it remotely again
 # to prove the daemon's characterization cache serves the repeat.
-# Finally it pushes a reactive (threshold-triggered) evaluation through
+# It then pushes a reactive (threshold-triggered) evaluation through
 # the same daemon and requires hotsim's report to be byte-identical to
 # the in-process run — the unified point model's remote surface, end to
-# end. CI runs this as the service-smoke job; check.sh mirrors it
+# end. Finally it restarts the daemon on the same cache dir and requires
+# the restarted daemon to warm-start: byte-identical output with zero
+# builds (annealing/calibration) and zero NoC decodes, asserted through
+# /v1/stats. CI runs this as the service-smoke job; check.sh mirrors it
 # locally.
 set -eu
 
@@ -78,4 +81,67 @@ if ! cmp -s "$workdir/reactive_local.txt" "$workdir/reactive_remote.txt"; then
     exit 1
 fi
 
-echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim)"
+echo "== restarting the daemon on the same cache dir"
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+"$workdir/hotnocd" -addr "$addr" -cache-dir "$workdir/cache" >"$workdir/daemon2.log" 2>&1 &
+daemon_pid=$!
+
+echo "== figure1 -server http://$addr (restarted daemon, warm cache dir)"
+ok=0
+i=0
+while [ "$i" -lt 50 ]; do
+    if "$workdir/figure1" -server "http://$addr" -scale 8 -configs A,E -json \
+        >"$workdir/remote3.json" 2>"$workdir/remote3.err"; then
+        ok=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "service smoke: restarted daemon never served figure1" >&2
+    cat "$workdir/remote3.err" "$workdir/daemon2.log" >&2
+    exit 1
+fi
+if ! cmp -s "$workdir/local.json" "$workdir/remote3.json"; then
+    echo "service smoke: restarted daemon's JSON differs from in-process run" >&2
+    diff "$workdir/local.json" "$workdir/remote3.json" >&2 || true
+    exit 1
+fi
+
+# The restarted daemon must have reconstituted every build from the
+# persisted snapshots (zero cold builds) and served every orbit from the
+# characterization cache (zero decodes).
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+stats=$(fetch "http://$addr/v1/stats")
+echo "$stats" >"$workdir/stats.json"
+case "$stats" in
+*'"build_misses":0'*) ;;
+*)
+    echo "service smoke: restarted daemon performed cold builds: $stats" >&2
+    exit 1
+    ;;
+esac
+case "$stats" in
+*'"decodes":0'*) ;;
+*)
+    echo "service smoke: restarted daemon re-simulated orbits: $stats" >&2
+    exit 1
+    ;;
+esac
+case "$stats" in
+*'"build_hits":2'*) ;;
+*)
+    echo "service smoke: restarted daemon did not warm-start its builds: $stats" >&2
+    exit 1
+    ;;
+esac
+
+echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim + warm daemon restart: 0 builds, 0 decodes)"

@@ -53,11 +53,13 @@ import (
 
 // Config tunes a Server.
 type Config struct {
-	// CacheDir persists NoC characterizations across restarts; empty
-	// keeps the characterization caches memory-only.
+	// CacheDir persists NoC characterizations and calibrated build
+	// snapshots across restarts — a restarted daemon warm-starts with
+	// zero annealing, calibration or cycle-accurate simulation; empty
+	// keeps both caches memory-only.
 	CacheDir string
-	// CacheLimit bounds the characterization file count under CacheDir
-	// with LRU eviction; zero means unbounded.
+	// CacheLimit bounds the file count of each cache artifact kind under
+	// CacheDir with LRU eviction; zero means unbounded.
 	CacheLimit int
 	// Workers bounds each Lab's worker pool (0 = one per core). All jobs
 	// at one scale multiplex onto the same pool.

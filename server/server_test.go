@@ -471,6 +471,53 @@ func TestMixedGridRemoteParity(t *testing.T) {
 	}
 }
 
+// TestDaemonRestartWarmStartsBuilds: a second daemon over the first
+// daemon's cache directory performs zero annealing/calibration work —
+// every build reconstitutes from its persisted snapshot, asserted
+// through the build counters on /v1/stats — and serves outcomes
+// identical to the cold daemon's.
+func TestDaemonRestartWarmStartsBuilds(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	pts := testGrid()
+
+	_, url1 := testServer(t, Config{CacheDir: dir})
+	c1 := client.New(url1, client.WithScale(testScale))
+	cold, err := c1.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server process state over the same directory.
+	_, url2 := testServer(t, Config{CacheDir: dir})
+	c2 := client.New(url2, client.WithScale(testScale))
+	warm, err := c2.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Labs) != 1 {
+		t.Fatalf("stats list %d labs, want 1", len(st.Labs))
+	}
+	lab := st.Labs[0]
+	if lab.BuildMisses != 0 || lab.BuildHits != 2 {
+		t.Fatalf("restarted daemon built cold: %d hits / %d misses, want 2 / 0",
+			lab.BuildHits, lab.BuildMisses)
+	}
+	if lab.Decodes != 0 || lab.CacheMisses != 0 {
+		t.Fatalf("restarted daemon re-simulated: %d decodes, %d characterization misses, want 0 / 0",
+			lab.Decodes, lab.CacheMisses)
+	}
+	for j := range cold {
+		if !reflect.DeepEqual(cold[j].Result, warm[j].Result) {
+			t.Fatalf("point %d: restarted daemon's outcome differs", j)
+		}
+	}
+}
+
 // TestReactiveRemoteParity: client.Reactive through the daemon is bitwise
 // identical to Lab.Reactive in process, and shares the daemon's
 // characterization cache with periodic sweeps at the same scale.
