@@ -329,6 +329,7 @@ func outcomeFromMsg(m wire.OutcomeMsg, builts map[string]*chipcfg.Built) hotnoc.
 				WarmupBlocks: m.Point.Reactive.WarmupBlocks,
 				SensorQuantC: m.Point.Reactive.SensorQuantC,
 				Dt:           m.Point.Reactive.Dt,
+				PeaksEvery:   m.Point.Reactive.PeaksEvery,
 			}
 		}
 	}

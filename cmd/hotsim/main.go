@@ -48,6 +48,7 @@ func main() {
 	warmupBlocks := flag.Int("warmup-blocks", 0, "blocks excluded from reactive statistics (0 = half the horizon)")
 	sensorQuant := flag.Float64("sensor-quant", 0.25, "reactive sensor resolution in °C")
 	dt := flag.Float64("dt", 5e-6, "reactive thermal integrator step in seconds")
+	peaksEvery := flag.Int("peaks-every", 0, "record the sensor timeline every N blocks (0/1 = every block, negative = omit)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -67,7 +68,7 @@ func main() {
 	// experiment the user did not ask for.
 	periodicOnly := map[string]bool{"blocks": true, "nomigenergy": true}
 	reactiveOnly := map[string]bool{"trigger": true, "sim-blocks": true,
-		"warmup-blocks": true, "sensor-quant": true, "dt": true}
+		"warmup-blocks": true, "sensor-quant": true, "dt": true, "peaks-every": true}
 	flag.Visit(func(f *flag.Flag) {
 		switch {
 		case *reactive && periodicOnly[f.Name]:
@@ -87,6 +88,7 @@ func main() {
 			WarmupBlocks: *warmupBlocks,
 			SensorQuantC: *sensorQuant,
 			Dt:           *dt,
+			PeaksEvery:   *peaksEvery,
 		})
 		return
 	}

@@ -428,17 +428,18 @@ func calibrateScale(tn *thermal.Network, unitPower []float64, leak power.Leakage
 	if err != nil {
 		return 0, 0, err
 	}
+	temps := make([]float64, len(unitPower))
+	next := make([]float64, len(unitPower))
+	pm := make([]float64, len(unitPower))
 	peakAt := func(s float64) (float64, bool) {
-		temps := make([]float64, len(unitPower))
 		for i := range temps {
 			temps[i] = tn.Par.AmbientC
 		}
-		pm := make([]float64, len(unitPower))
 		for it := 0; it < 200; it++ {
 			for i := range pm {
 				pm[i] = s*unitPower[i] + leak.At(temps[i])
 			}
-			next := ss.Solve(pm)
+			ss.SolveInto(next, pm)
 			d := 0.0
 			for i := range next {
 				if dd := math.Abs(next[i] - temps[i]); dd > d {
@@ -448,7 +449,7 @@ func calibrateScale(tn *thermal.Network, unitPower []float64, leak power.Leakage
 					return 0, false // electrothermal runaway at this scale
 				}
 			}
-			temps = next
+			temps, next = next, temps
 			if d < 1e-6 {
 				break
 			}

@@ -176,7 +176,7 @@ func (s *System) Run(cfg RunConfig) (RunResult, error) {
 
 func withLeak(opts thermal.CycleOptions, leak power.Leakage) thermal.CycleOptions {
 	if opts.Leak == nil {
-		opts.Leak = leak.Func()
+		opts.Leak = leak.Into
 	}
 	return opts
 }

@@ -31,6 +31,14 @@ type ReactiveConfig struct {
 	SensorQuantC float64
 	// Dt is the thermal integrator step (default 5 µs).
 	Dt float64
+	// PeaksEvery downsamples the BlockPeaks timeline: the sensor reading
+	// is recorded at every PeaksEvery-th block boundary (blocks 0, k, 2k,
+	// ...). 0 or 1 records every boundary (the default); a negative value
+	// omits the timeline entirely. High-horizon remote sweeps use it to
+	// stop shipping one float per block over the wire. Only the reported
+	// timeline thins — the trigger decision still samples every boundary,
+	// so the policy outcome is unchanged.
+	PeaksEvery int
 }
 
 // Normalized returns the config with defaults applied and the warmup
@@ -58,6 +66,9 @@ func (c *ReactiveConfig) setDefaults() {
 	if c.Dt <= 0 {
 		c.Dt = 5e-6
 	}
+	if c.PeaksEvery == 0 {
+		c.PeaksEvery = 1
+	}
 }
 
 // ReactiveResult summarises a reactive run. Scalar statistics cover the
@@ -72,9 +83,10 @@ type ReactiveResult struct {
 	Migrations int
 	// ThroughputPenalty is post-warmup migration downtime over total time.
 	ThroughputPenalty float64
-	// BlockPeaks records the sensor peak at every block boundary of the
-	// whole horizon (including warmup), a timeline of the control
-	// behaviour.
+	// BlockPeaks records the sensor peak at block boundaries of the whole
+	// horizon (including warmup), a timeline of the control behaviour.
+	// By default every boundary is recorded; ReactiveConfig.PeaksEvery
+	// downsamples or omits the timeline.
 	BlockPeaks []float64
 }
 
@@ -131,7 +143,6 @@ func (s *System) EvaluateReactive(ch *Characterization, cfg ReactiveConfig) (Rea
 	cfg.setDefaults()
 	g := s.Grid
 	orbit := len(ch.Legs)
-	leak := s.Leak.Func()
 
 	// Convert each characterized leg into the controller's power-map view:
 	// average decode power over the decode window, and migration power over
@@ -177,20 +188,29 @@ func (s *System) EvaluateReactive(ch *Characterization, cfg ReactiveConfig) (Rea
 	if err != nil {
 		return ReactiveResult{}, err
 	}
+	// Scratch for the integration hot loop: die temperatures, leakage map
+	// and per-step power map are reused across every step of the horizon.
+	dieBuf := make([]float64, g.N())
+	leakBuf := make([]float64, g.N())
+	pmBuf := make([]float64, g.N())
+
 	ss := ev.Steady()
-	state := ss.SolveFull(first.decodePower)
+	state := make([]float64, s.Therm.NNodes)
+	next := make([]float64, s.Therm.NNodes)
+	ss.SolveFullInto(state, first.decodePower)
 	for it := 0; it < 50; it++ {
-		die := s.Therm.DieTemps(state)
-		pm := append([]float64(nil), first.decodePower...)
-		for i, l := range leak(die) {
-			pm[i] += l
+		s.Therm.DieTempsInto(dieBuf, state)
+		s.Leak.Into(leakBuf, dieBuf)
+		copy(pmBuf, first.decodePower)
+		for i, l := range leakBuf {
+			pmBuf[i] += l
 		}
-		next := ss.SolveFull(pm)
-		if maxAbsDiff(next, state) < 1e-4 {
-			state = next
+		ss.SolveFullInto(next, pmBuf)
+		done := maxAbsDiff(next, state) < 1e-4
+		state, next = next, state
+		if done {
 			break
 		}
-		state = next
 	}
 
 	tr, err := ev.Transient(cfg.Dt)
@@ -200,7 +220,6 @@ func (s *System) EvaluateReactive(ch *Characterization, cfg ReactiveConfig) (Rea
 	tr.SetState(state, 0)
 
 	res := ReactiveResult{PeakC: -math.MaxFloat64}
-	pmBuf := make([]float64, g.N())
 	var meanAcc float64
 	var meanN int
 	recording := false
@@ -210,21 +229,22 @@ func (s *System) EvaluateReactive(ch *Characterization, cfg ReactiveConfig) (Rea
 			steps = 1
 		}
 		for i := 0; i < steps; i++ {
-			die := tr.Die()
+			tr.DieInto(dieBuf)
+			s.Leak.Into(leakBuf, dieBuf)
 			copy(pmBuf, basePower)
-			for j, l := range leak(die) {
+			for j, l := range leakBuf {
 				pmBuf[j] += l
 			}
 			tr.Step(pmBuf)
 			if !recording {
 				continue
 			}
-			die = tr.Die()
-			p, _ := thermal.Peak(die)
+			tr.DieInto(dieBuf)
+			p, _ := thermal.Peak(dieBuf)
 			if p > res.PeakC {
 				res.PeakC = p
 			}
-			meanAcc += thermal.Mean(die)
+			meanAcc += thermal.Mean(dieBuf)
 			meanN++
 		}
 	}
@@ -242,8 +262,11 @@ func (s *System) EvaluateReactive(ch *Characterization, cfg ReactiveConfig) (Rea
 			decodeCycles += m.decodeCycles
 		}
 
-		sensorPeak := quantize(maxOf(tr.Die()), cfg.SensorQuantC)
-		res.BlockPeaks = append(res.BlockPeaks, sensorPeak)
+		tr.DieInto(dieBuf)
+		sensorPeak := quantize(maxOf(dieBuf), cfg.SensorQuantC)
+		if cfg.PeaksEvery > 0 && blk%cfg.PeaksEvery == 0 {
+			res.BlockPeaks = append(res.BlockPeaks, sensorPeak)
+		}
 		if sensorPeak > cfg.TriggerC {
 			integrate(m.migPower, float64(m.migCycles)/s.ClockHz)
 			if recording {

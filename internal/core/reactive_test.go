@@ -149,6 +149,58 @@ func TestReactiveDeterminism(t *testing.T) {
 	}
 }
 
+// TestReactivePeaksEvery: the timeline knob only thins what is reported —
+// scalar statistics and the migration trace are bitwise unchanged, the
+// downsampled timeline is the every-block timeline's every-k-th entry,
+// and a negative knob omits the timeline entirely.
+func TestReactivePeaksEvery(t *testing.T) {
+	sys := buildSystem(t, 4)
+	ch, err := sys.Characterize(Rot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ReactiveConfig{Scheme: Rot(), TriggerC: 55, SimBlocks: 400, WarmupBlocks: 200}
+	full, err := sys.EvaluateReactive(ch, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.BlockPeaks) != base.SimBlocks {
+		t.Fatalf("default recorded %d peaks, want %d", len(full.BlockPeaks), base.SimBlocks)
+	}
+
+	down := base
+	down.PeaksEvery = 7
+	got, err := sys.EvaluateReactive(ch, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PeakC != full.PeakC || got.MeanC != full.MeanC || got.Migrations != full.Migrations {
+		t.Fatal("downsampling changed the scalar statistics")
+	}
+	want := (base.SimBlocks + 6) / 7
+	if len(got.BlockPeaks) != want {
+		t.Fatalf("PeaksEvery=7 recorded %d peaks, want %d", len(got.BlockPeaks), want)
+	}
+	for i, p := range got.BlockPeaks {
+		if p != full.BlockPeaks[7*i] {
+			t.Fatalf("downsampled peak %d = %g, want full[%d] = %g", i, p, 7*i, full.BlockPeaks[7*i])
+		}
+	}
+
+	off := base
+	off.PeaksEvery = -1
+	none, err := sys.EvaluateReactive(ch, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.BlockPeaks != nil {
+		t.Fatalf("PeaksEvery=-1 still recorded %d peaks", len(none.BlockPeaks))
+	}
+	if none.PeakC != full.PeakC || none.Migrations != full.Migrations {
+		t.Fatal("omitting the timeline changed the scalar statistics")
+	}
+}
+
 // TestReactiveValidation covers the error paths.
 func TestReactiveValidation(t *testing.T) {
 	sys := buildSystem(t, 4)

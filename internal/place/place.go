@@ -237,8 +237,13 @@ func annealOnce(p *Problem, opts Options, seed int64) Result {
 	}
 
 	rng := rand.New(rand.NewSource(seed))
+	// One reusable buffer for the permuted power map: the objective is
+	// evaluated tens of thousands of times per restart and PermuteInto +
+	// PeakTemp keep the whole inner loop allocation-free.
+	placed := make([]float64, n)
 	eval := func(place []int) (float64, float64, float64) {
-		peak := p.Inf.PeakTemp(power.Permute(p.PEPower, place))
+		power.PermuteInto(placed, p.PEPower, place)
+		peak := p.Inf.PeakTemp(placed)
 		hops := 0.0
 		if p.Traffic != nil && p.CommWeight > 0 {
 			hops = commHops(p.Grid, p.Traffic, place)

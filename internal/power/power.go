@@ -202,15 +202,16 @@ func (l Leakage) At(tC float64) float64 {
 	return l.P0W * math.Exp(l.BetaPerC*(tC-l.TRefC))
 }
 
-// Func adapts the model to the thermal package's schedule hook: given die
-// temperatures it returns the per-block leakage power map.
-func (l Leakage) Func() func(dieTemps []float64) []float64 {
-	return func(dieTemps []float64) []float64 {
-		out := make([]float64, len(dieTemps))
-		for i, t := range dieTemps {
-			out[i] = l.At(t)
-		}
-		return out
+// Into writes the per-block leakage power map for the given die
+// temperatures into dst. The method value l.Into satisfies the thermal
+// package's allocation-free schedule hook (thermal.CycleOptions.Leak).
+func (l Leakage) Into(dst, dieTemps []float64) {
+	if len(dst) != len(dieTemps) {
+		panic(fmt.Sprintf("power: leakage buffer has %d entries for %d blocks",
+			len(dst), len(dieTemps)))
+	}
+	for i, t := range dieTemps {
+		dst[i] = l.P0W * math.Exp(l.BetaPerC*(t-l.TRefC))
 	}
 }
 
@@ -227,13 +228,24 @@ func Total(m []float64) float64 {
 // m[i] — the power map seen by the chip after the workload at block i
 // migrates to block dst[i].
 func Permute(m []float64, dst []int) []float64 {
+	out := make([]float64, len(m))
+	PermuteInto(out, m, dst)
+	return out
+}
+
+// PermuteInto is Permute without the allocation: out[dst[i]] = m[i]. dst
+// must be a bijection onto out's indices (it always is for a placement),
+// so every entry of out is written.
+func PermuteInto(out, m []float64, dst []int) {
 	if len(m) != len(dst) {
 		panic(fmt.Sprintf("power: permuting %d-block map with %d-entry permutation",
 			len(m), len(dst)))
 	}
-	out := make([]float64, len(m))
+	if len(out) != len(m) {
+		panic(fmt.Sprintf("power: permuting %d-block map into %d-entry buffer",
+			len(m), len(out)))
+	}
 	for i, d := range dst {
 		out[d] = m[i]
 	}
-	return out
 }

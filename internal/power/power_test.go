@@ -126,18 +126,22 @@ func TestLeakageMonotonic(t *testing.T) {
 	}
 }
 
-func TestLeakageFunc(t *testing.T) {
+func TestLeakageInto(t *testing.T) {
 	l := DefaultLeakage()
-	fn := l.Func()
-	out := fn([]float64{40, 60, 85})
-	if len(out) != 3 {
-		t.Fatalf("Func returned %d entries", len(out))
-	}
-	for i, temp := range []float64{40, 60, 85} {
+	temps := []float64{40, 60, 85}
+	out := make([]float64, len(temps))
+	l.Into(out, temps)
+	for i, temp := range temps {
 		if math.Abs(out[i]-l.At(temp)) > 1e-18 {
-			t.Fatalf("Func[%d] = %g, want %g", i, out[i], l.At(temp))
+			t.Fatalf("Into[%d] = %g, want %g", i, out[i], l.At(temp))
 		}
 	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	l.Into(make([]float64, 2), temps)
 }
 
 // TestPermute property: permuting a power map preserves total power and

@@ -26,10 +26,11 @@ func benchPower(n int) []float64 {
 	return p
 }
 
-// BenchmarkFactor measures one LU factorisation of the 5x5 chip's
-// 51-node conductance matrix.
+// BenchmarkFactor measures one dense pivoted LU factorisation of the 5x5
+// chip's 51-node conductance matrix — the retained reference path.
 func BenchmarkFactor(b *testing.B) {
 	nw := benchNetwork(b, 5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Factor(nw.G); err != nil {
@@ -38,9 +39,21 @@ func BenchmarkFactor(b *testing.B) {
 	}
 }
 
-// BenchmarkSteadySolve measures one steady-state solve with a prefactored
-// system — the placement annealer's inner loop before the influence-matrix
-// optimisation.
+// BenchmarkFactorBanded measures one bordered-banded factorisation of the
+// same system, the production path (O(n·k²) vs the dense O(n³)).
+func BenchmarkFactorBanded(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorBanded(nw.G, nw.Sink(), nw.BandPerm()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadySolve measures one steady-state solve on the banded hot
+// path with a prefactored system; 0 allocs/op is pinned by the alloc guard.
 func BenchmarkSteadySolve(b *testing.B) {
 	nw := benchNetwork(b, 5)
 	s, err := NewSteadySolver(nw)
@@ -48,9 +61,69 @@ func BenchmarkSteadySolve(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := benchPower(nw.NDie)
+	die := make([]float64, nw.NDie)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Solve(p)
+		s.SolveInto(die, p)
+	}
+}
+
+// BenchmarkSteadySolveDense measures the same solve through the dense
+// reference LU, the before side of the banded comparison.
+func BenchmarkSteadySolveDense(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	lu, err := Factor(nw.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchPower(nw.NDie)
+	rhs := make([]float64, nw.NNodes)
+	t := make([]float64, nw.NNodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(rhs, p)
+		for j := range rhs {
+			if j >= nw.NDie {
+				rhs[j] = 0
+			}
+			rhs[j] += nw.B[j]
+		}
+		lu.Solve(t, rhs)
+	}
+}
+
+// BenchmarkSteadySolveBatch measures a 25-map chunk through the batched
+// multi-RHS path; the reported time is per chunk, not per map.
+func BenchmarkSteadySolveBatch(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	s, err := NewSteadySolver(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	maps := make([][]float64, 25)
+	for k := range maps {
+		maps[k] = benchPower(nw.NDie)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SolveBatch(maps)
+	}
+}
+
+// BenchmarkInfluenceBuild measures the full influence-matrix construction,
+// one batched multi-RHS solve over the identity block (was n sequential
+// solves).
+func BenchmarkInfluenceBuild(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewInfluence(nw); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -77,14 +150,44 @@ func BenchmarkTransientStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := benchPower(nw.NDie)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Step(p)
 	}
 }
 
+// BenchmarkCycleLoopStep measures one iteration of runCycle's inner loop
+// with the leakage closure engaged — die extraction, leakage map, power
+// assembly, banded step; 0 allocs/op is pinned by the alloc guard.
+func BenchmarkCycleLoopStep(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	tr, err := NewTransient(nw, 5e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := benchPower(nw.NDie)
+	die := make([]float64, nw.NDie)
+	leak := make([]float64, nw.NDie)
+	pm := make([]float64, nw.NDie)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DieInto(die)
+		for j, t := range die {
+			leak[j] = 0.012 * (1 + 0.018*(t-40))
+		}
+		copy(pm, base)
+		for j, l := range leak {
+			pm[j] += l
+		}
+		tr.Step(pm)
+	}
+}
+
 // BenchmarkRunCycle measures a full quasi-steady cycle evaluation of a
-// four-entry schedule, the thermal cost of one scheme evaluation.
+// four-entry schedule, the thermal cost of one scheme evaluation,
+// including the per-call factorisations.
 func BenchmarkRunCycle(b *testing.B) {
 	nw := benchNetwork(b, 5)
 	entries := make([]ScheduleEntry, 4)
@@ -92,9 +195,42 @@ func BenchmarkRunCycle(b *testing.B) {
 		p := benchPower(nw.NDie)
 		entries[k] = ScheduleEntry{Power: p, Duration: 120e-6}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunCycle(nw, entries, CycleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateCycle measures the warm serving cost of one cycle
+// evaluation through a cached Evaluator — the per-point latency floor of a
+// sweep after PRs 2 and 5 moved builds and characterizations off the path.
+func BenchmarkEvaluateCycle(b *testing.B) {
+	nw := benchNetwork(b, 5)
+	ev, err := NewEvaluator(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := make([]ScheduleEntry, 4)
+	for k := range entries {
+		p := benchPower(nw.NDie)
+		entries[k] = ScheduleEntry{Power: p, Duration: 120e-6}
+	}
+	leak := func(dst, die []float64) {
+		for i, t := range die {
+			dst[i] = 0.012 * (1 + 0.018*(t-40))
+		}
+	}
+	opts := CycleOptions{Leak: leak}
+	if _, err := ev.RunCycle(entries, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.RunCycle(entries, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,6 +17,21 @@ type Evaluator struct {
 	// trans caches one integrator per step size. RunCycle overwrites the
 	// integrator state before use, so reuse is exact.
 	trans map[float64]*Transient
+	sc    *cycleScratch
+}
+
+// cycleScratch holds the per-evaluator buffers that make runCycle
+// allocation-free: die-sized power/leak/average maps and node-sized
+// ping-pong state vectors. Lazily built on the first cycle evaluation.
+type cycleScratch struct {
+	avg      []float64 // time-averaged power map, NDie
+	withLeak []float64 // warm-start power map with leakage folded in, NDie
+	die      []float64 // die-layer temperatures, NDie
+	leak     []float64 // leakage power map, NDie
+	power    []float64 // per-step power map, NDie
+	state    []float64 // warm-start fixed-point state, NNodes
+	stateNext []float64
+	prev      []float64 // repetition-start state for convergence checks, NNodes
 }
 
 // NewEvaluator factorises the network's steady-state system once and
@@ -27,6 +42,23 @@ func NewEvaluator(nw *Network) (*Evaluator, error) {
 		return nil, err
 	}
 	return &Evaluator{nw: nw, ss: ss, trans: map[float64]*Transient{}}, nil
+}
+
+func (ev *Evaluator) scratch() *cycleScratch {
+	if ev.sc == nil {
+		n, nn := ev.nw.NDie, ev.nw.NNodes
+		ev.sc = &cycleScratch{
+			avg:       make([]float64, n),
+			withLeak:  make([]float64, n),
+			die:       make([]float64, n),
+			leak:      make([]float64, n),
+			power:     make([]float64, n),
+			state:     make([]float64, nn),
+			stateNext: make([]float64, nn),
+			prev:      make([]float64, nn),
+		}
+	}
+	return ev.sc
 }
 
 // Network returns the network the evaluator was built over.

@@ -32,12 +32,10 @@ func TestEvaluatorMatchesRunCycle(t *testing.T) {
 		{Power: hot, Duration: 300e-6},
 		{Power: cool, Duration: 300e-6},
 	}
-	leak := func(die []float64) []float64 {
-		out := make([]float64, len(die))
+	leak := func(dst, die []float64) {
 		for i, d := range die {
-			out[i] = 0.01 + 1e-4*d
+			dst[i] = 0.01 + 1e-4*d
 		}
-		return out
 	}
 
 	ev, err := NewEvaluator(nw)

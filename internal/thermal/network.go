@@ -112,6 +112,13 @@ type Network struct {
 	C []float64
 	// B is the constant boundary vector (ambient coupling).
 	B []float64
+
+	// bandPerm interleaves die/spreader pairs (die i ↦ 2i, spreader
+	// i ↦ 2i+1; sink ↦ -1, it is the dense border) so that G and every
+	// C/dt + G become banded with half bandwidth ~2·gridwidth. Computed
+	// once at assembly and read-only afterwards, so concurrent solvers can
+	// share the network.
+	bandPerm []int
 }
 
 // NewNetwork assembles the RC network for a floorplan.
@@ -204,8 +211,23 @@ func NewNetwork(fp *floorplan.Floorplan, par Params) (*Network, error) {
 	nw.G.Add(sink, sink, gAmb)
 	nw.B[sink] = gAmb * par.AmbientC
 
+	nw.bandPerm = make([]int, nw.NNodes)
+	for i := 0; i < n; i++ {
+		nw.bandPerm[i] = 2 * i
+		nw.bandPerm[n+i] = 2*i + 1
+	}
+	nw.bandPerm[sink] = -1
+
 	return nw, nil
 }
+
+// Sink returns the index of the lumped heat-sink node, the dense border
+// row/column of the banded factorisation.
+func (nw *Network) Sink() int { return nw.NNodes - 1 }
+
+// BandPerm returns the node ordering under which the network matrices are
+// banded (see bandPerm); callers must treat it as read-only.
+func (nw *Network) BandPerm() []int { return nw.bandPerm }
 
 // stamp adds a conductance g between nodes i and j.
 func (nw *Network) stamp(i, j int, g float64) {
@@ -231,8 +253,17 @@ func (nw *Network) powerVector(dst, blockPower []float64) {
 // DieTemps extracts the die-layer slice of a full node temperature vector.
 func (nw *Network) DieTemps(full []float64) []float64 {
 	out := make([]float64, nw.NDie)
-	copy(out, full[:nw.NDie])
+	nw.DieTempsInto(out, full)
 	return out
+}
+
+// DieTempsInto is DieTemps without the allocation: it writes the die-layer
+// temperatures into dst, which must have NDie entries.
+func (nw *Network) DieTempsInto(dst, full []float64) {
+	if len(dst) != nw.NDie {
+		panic(fmt.Sprintf("thermal: die buffer has %d entries for %d blocks", len(dst), nw.NDie))
+	}
+	copy(dst, full[:nw.NDie])
 }
 
 // Peak returns the hottest die temperature and its block index.

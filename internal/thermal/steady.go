@@ -3,51 +3,122 @@ package thermal
 import "fmt"
 
 // SteadySolver solves the steady-state thermal problem G·T = P + B for a
-// fixed network, reusing one LU factorisation across any number of power
-// maps. This is the hot path of thermally-aware placement, which evaluates
-// thousands of candidate mappings.
+// fixed network, reusing one banded factorisation across any number of
+// power maps. This is the hot path of thermally-aware placement, which
+// evaluates thousands of candidate mappings. The dense LU in linalg.go is
+// kept as the reference implementation; the differential tests pin the two
+// paths together.
 type SteadySolver struct {
 	nw *Network
-	lu *LU
-	// scratch buffers to keep Solve allocation-free after the first call.
+	f  *BandedLU
+	// scratch buffers to keep the Into variants allocation-free.
 	p []float64
 	t []float64
+	// batch scratch, grown on demand by SolveBatch.
+	bp []float64
 }
 
-// NewSteadySolver factorises the network's conductance matrix once.
+// NewSteadySolver factorises the network's conductance matrix once using
+// the banded ordering.
 func NewSteadySolver(nw *Network) (*SteadySolver, error) {
-	lu, err := Factor(nw.G)
+	f, err := FactorBanded(nw.G, nw.Sink(), nw.BandPerm())
 	if err != nil {
 		return nil, err
 	}
 	return &SteadySolver{
 		nw: nw,
-		lu: lu,
+		f:  f,
 		p:  make([]float64, nw.NNodes),
 		t:  make([]float64, nw.NNodes),
 	}, nil
 }
 
 // Solve returns the steady-state die temperatures (°C) for a per-block
-// power map in watts.
+// power map in watts. The returned slice is fresh on every call; hot loops
+// use SolveInto.
 func (s *SteadySolver) Solve(blockPower []float64) []float64 {
-	s.nw.powerVector(s.p, blockPower)
-	for i := range s.p {
-		s.p[i] += s.nw.B[i]
+	out := make([]float64, s.nw.NDie)
+	s.SolveInto(out, blockPower)
+	return out
+}
+
+// SolveInto writes the steady-state die temperatures into dst (NDie
+// entries) without allocating.
+func (s *SteadySolver) SolveInto(dst, blockPower []float64) {
+	if len(dst) != s.nw.NDie {
+		panic(fmt.Sprintf("thermal: SolveInto dst has %d entries for %d blocks", len(dst), s.nw.NDie))
 	}
-	s.lu.Solve(s.t, s.p)
-	return s.nw.DieTemps(s.t)
+	s.solveNodes(blockPower)
+	copy(dst, s.t[:s.nw.NDie])
 }
 
 // SolveFull returns the full node temperature vector, including spreader
 // and sink nodes, for diagnostics.
 func (s *SteadySolver) SolveFull(blockPower []float64) []float64 {
+	out := make([]float64, s.nw.NNodes)
+	s.SolveFullInto(out, blockPower)
+	return out
+}
+
+// SolveFullInto writes the full node temperature vector into dst (NNodes
+// entries) without allocating.
+func (s *SteadySolver) SolveFullInto(dst, blockPower []float64) {
+	if len(dst) != s.nw.NNodes {
+		panic(fmt.Sprintf("thermal: SolveFullInto dst has %d entries for %d nodes", len(dst), s.nw.NNodes))
+	}
+	s.solveNodes(blockPower)
+	copy(dst, s.t)
+}
+
+func (s *SteadySolver) solveNodes(blockPower []float64) {
 	s.nw.powerVector(s.p, blockPower)
 	for i := range s.p {
 		s.p[i] += s.nw.B[i]
 	}
-	out := make([]float64, s.nw.NNodes)
-	s.lu.Solve(out, s.p)
+	s.f.Solve(s.t, s.p)
+}
+
+// SolveBatch solves a whole chunk of power maps against the one cached
+// factorisation with a single batched sweep, returning one die-temperature
+// slice per map. Each result is bitwise identical to a Solve of the same
+// map, so batching is a pure throughput lever for chunked steady-state
+// work (influence-matrix assembly, warm-start chunks, sweep pre-passes).
+func (s *SteadySolver) SolveBatch(blockPowers [][]float64) [][]float64 {
+	m := len(blockPowers)
+	if m == 0 {
+		return nil
+	}
+	n := s.nw.NDie
+	nn := s.nw.NNodes
+	if cap(s.bp) < nn*m {
+		s.bp = make([]float64, nn*m)
+	}
+	rhs := s.bp[:nn*m]
+	for i := 0; i < nn; i++ {
+		bi := s.nw.B[i]
+		row := rhs[i*m : (i+1)*m]
+		for c, p := range blockPowers {
+			if len(p) != n {
+				panic(fmt.Sprintf("thermal: power map %d has %d entries for %d blocks", c, len(p), n))
+			}
+			if i < n {
+				row[c] = p[i] + bi
+			} else {
+				row[c] = bi
+			}
+		}
+	}
+	s.f.SolveBatch(rhs, rhs, m)
+	out := make([][]float64, m)
+	for c := range out {
+		out[c] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		row := rhs[i*m : (i+1)*m]
+		for c := range out {
+			out[c][i] = row[c]
+		}
+	}
 	return out
 }
 
@@ -66,22 +137,34 @@ type Influence struct {
 	Ambient float64
 }
 
-// NewInfluence computes the influence matrix column by column (one solve
-// per block with a unit power impulse).
+// NewInfluence computes the influence matrix with one batched multi-RHS
+// solve: the right-hand-side block is the identity over die nodes (one
+// unit power impulse per column) plus the ambient boundary, so a single
+// factorisation and one banded sweep replace n sequential solves.
 func NewInfluence(nw *Network) (*Influence, error) {
-	s, err := NewSteadySolver(nw)
+	f, err := FactorBanded(nw.G, nw.Sink(), nw.BandPerm())
 	if err != nil {
 		return nil, err
 	}
 	n := nw.NDie
-	inf := &Influence{N: n, A: NewDense(n), Ambient: nw.Par.AmbientC}
-	unit := make([]float64, n)
+	nn := nw.NNodes
+	rhs := make([]float64, nn*n)
+	for i := 0; i < nn; i++ {
+		bi := nw.B[i]
+		row := rhs[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = bi
+		}
+	}
 	for j := 0; j < n; j++ {
-		unit[j] = 1
-		col := s.Solve(unit)
-		unit[j] = 0
-		for i := 0; i < n; i++ {
-			inf.A.Set(i, j, col[i]-nw.Par.AmbientC)
+		rhs[j*n+j]++
+	}
+	f.SolveBatch(rhs, rhs, n)
+	inf := &Influence{N: n, A: NewDense(n), Ambient: nw.Par.AmbientC}
+	for i := 0; i < n; i++ {
+		row := rhs[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			inf.A.Set(i, j, row[j]-nw.Par.AmbientC)
 		}
 	}
 	return inf, nil
@@ -102,7 +185,7 @@ func (inf *Influence) Temps(blockPower []float64) []float64 {
 }
 
 // PeakTemp returns only the hottest block's temperature for a power map;
-// this is the placement objective, kept allocation-light.
+// this is the placement objective, kept allocation-free.
 func (inf *Influence) PeakTemp(blockPower []float64) float64 {
 	peak := inf.Ambient
 	n := inf.N

@@ -17,7 +17,7 @@ import (
 type Transient struct {
 	nw *Network
 	dt float64
-	lu *LU
+	f  *BandedLU
 
 	// T is the current full node temperature vector.
 	T []float64
@@ -31,17 +31,19 @@ type Transient struct {
 // NewTransient creates an integrator with step dt (seconds), starting from
 // a uniform ambient-temperature state.
 func NewTransient(nw *Network, dt float64) (*Transient, error) {
-	lu, err := factorStep(nw, dt)
+	f, err := factorStep(nw, dt)
 	if err != nil {
 		return nil, err
 	}
-	return newTransient(nw, dt, lu), nil
+	return newTransient(nw, dt, f), nil
 }
 
 // factorStep factorises the backward-Euler iteration matrix C/dt + G for
-// step size dt. The factorisation depends only on (network, dt), so an
+// step size dt. Adding C/dt to the diagonal preserves symmetry, diagonal
+// dominance, and the band pattern, so the banded factorisation applies
+// unchanged. The factorisation depends only on (network, dt), so an
 // Evaluator caches it across any number of integrations.
-func factorStep(nw *Network, dt float64) (*LU, error) {
+func factorStep(nw *Network, dt float64) (*BandedLU, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive step %g", dt)
 	}
@@ -49,16 +51,16 @@ func factorStep(nw *Network, dt float64) (*LU, error) {
 	for i := 0; i < nw.NNodes; i++ {
 		m.Add(i, i, nw.C[i]/dt)
 	}
-	return Factor(m)
+	return FactorBanded(m, nw.Sink(), nw.BandPerm())
 }
 
 // newTransient wires an integrator around a previously factorised
 // iteration matrix for the same (network, dt).
-func newTransient(nw *Network, dt float64, lu *LU) *Transient {
+func newTransient(nw *Network, dt float64, f *BandedLU) *Transient {
 	tr := &Transient{
 		nw:  nw,
 		dt:  dt,
-		lu:  lu,
+		f:   f,
 		T:   make([]float64, nw.NNodes),
 		rhs: make([]float64, nw.NNodes),
 		pv:  make([]float64, nw.NNodes),
@@ -97,7 +99,7 @@ func (tr *Transient) Step(blockPower []float64) {
 	for i := range tr.rhs {
 		tr.rhs[i] = tr.nw.C[i]/tr.dt*tr.T[i] + tr.pv[i] + tr.nw.B[i]
 	}
-	tr.lu.Solve(tr.T, tr.rhs)
+	tr.f.Solve(tr.T, tr.rhs)
 	tr.Time += tr.dt
 }
 
@@ -115,6 +117,10 @@ func (tr *Transient) StepFor(blockPower []float64, duration float64) {
 
 // Die returns a copy of the current die-layer temperatures.
 func (tr *Transient) Die() []float64 { return tr.nw.DieTemps(tr.T) }
+
+// DieInto writes the current die-layer temperatures into dst without
+// allocating; dst must have NDie entries.
+func (tr *Transient) DieInto(dst []float64) { tr.nw.DieTempsInto(dst, tr.T) }
 
 // ScheduleEntry is one segment of a piecewise-constant power schedule: the
 // chip dissipates Power (per-block watts) for Duration seconds. A migration
@@ -156,10 +162,11 @@ type CycleOptions struct {
 	TolC float64
 	// MaxReps bounds the repetitions (default 20000).
 	MaxReps int
-	// Leak, when non-nil, maps current die temperatures to additional
-	// per-block leakage power added to each entry's map, closing the
-	// electrothermal loop.
-	Leak func(dieTemps []float64) []float64
+	// Leak, when non-nil, writes the additional per-block leakage power
+	// for the current die temperatures into dst, closing the
+	// electrothermal loop. The Into signature keeps the per-step hot loop
+	// allocation-free (power.Leakage.Into satisfies it).
+	Leak func(dst, dieTemps []float64)
 }
 
 func (o *CycleOptions) setDefaults() {
@@ -213,6 +220,7 @@ func (ev *Evaluator) runCycle(entries []ScheduleEntry, opts CycleOptions) (Cycle
 	if err != nil {
 		return CycleResult{}, err
 	}
+	sc := ev.scratch()
 
 	// Warm start: the heat-sink time constant (~RConvection·CSink, minutes)
 	// dwarfs the schedule period, so integrating from ambient would take
@@ -220,7 +228,10 @@ func (ev *Evaluator) runCycle(entries []ScheduleEntry, opts CycleOptions) (Cycle
 	// steady state of the time-averaged power map (iterating the leakage
 	// feedback to a fixed point), which the quasi-steady cycle orbits
 	// around; convergence then takes only a handful of repetitions.
-	avg := make([]float64, nw.NDie)
+	avg := sc.avg
+	for i := range avg {
+		avg[i] = 0
+	}
 	for _, e := range entries {
 		w := e.Duration / cycleTime
 		for i, p := range e.Power {
@@ -228,18 +239,21 @@ func (ev *Evaluator) runCycle(entries []ScheduleEntry, opts CycleOptions) (Cycle
 		}
 	}
 	ss := ev.ss
-	withLeak := append([]float64(nil), avg...)
-	state := ss.SolveFull(withLeak)
+	withLeak := sc.withLeak
+	copy(withLeak, avg)
+	state, next := sc.state, sc.stateNext
+	ss.SolveFullInto(state, withLeak)
 	if opts.Leak != nil {
 		for it := 0; it < 50; it++ {
-			die := nw.DieTemps(state)
+			nw.DieTempsInto(sc.die, state)
+			opts.Leak(sc.leak, sc.die)
 			copy(withLeak, avg)
-			for i, l := range opts.Leak(die) {
+			for i, l := range sc.leak {
 				withLeak[i] += l
 			}
-			next := ss.SolveFull(withLeak)
+			ss.SolveFullInto(next, withLeak)
 			done := vecMaxAbsDiff(next, state) < opts.TolC/10
-			state = next
+			state, next = next, state
 			if err := checkFinite(state); err != nil {
 				return CycleResult{}, fmt.Errorf("thermal: electrothermal runaway during warm start (leakage diverges at this power level): %w", err)
 			}
@@ -250,7 +264,7 @@ func (ev *Evaluator) runCycle(entries []ScheduleEntry, opts CycleOptions) (Cycle
 	}
 	tr.SetState(state, 0)
 
-	power := make([]float64, nw.NDie)
+	power := sc.power
 	runEntry := func(e ScheduleEntry, record *CycleResult, meanAcc *float64, samples *int) {
 		steps := int(math.Round(e.Duration / opts.Dt))
 		if steps < 1 {
@@ -259,8 +273,9 @@ func (ev *Evaluator) runCycle(entries []ScheduleEntry, opts CycleOptions) (Cycle
 		for s := 0; s < steps; s++ {
 			copy(power, e.Power)
 			if opts.Leak != nil {
-				die := tr.nw.DieTemps(tr.T)
-				for i, l := range opts.Leak(die) {
+				nw.DieTempsInto(sc.die, tr.T)
+				opts.Leak(sc.leak, sc.die)
+				for i, l := range sc.leak {
 					power[i] += l
 				}
 			}
@@ -278,18 +293,20 @@ func (ev *Evaluator) runCycle(entries []ScheduleEntry, opts CycleOptions) (Cycle
 		}
 	}
 
-	prev := tr.State()
+	// Convergence check against a ping-pong copy of the repetition-start
+	// state instead of a tr.State() clone per repetition.
+	prev := sc.prev
+	copy(prev, tr.T)
 	reps := 0
 	for ; reps < opts.MaxReps; reps++ {
 		for _, e := range entries {
 			runEntry(e, nil, nil, nil)
 		}
-		cur := tr.State()
-		if vecMaxAbsDiff(cur, prev) < opts.TolC {
+		if vecMaxAbsDiff(tr.T, prev) < opts.TolC {
 			reps++
 			break
 		}
-		prev = cur
+		copy(prev, tr.T)
 	}
 
 	res := CycleResult{

@@ -205,12 +205,10 @@ func TestRunCycleLeakageCoupling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	leak := func(die []float64) []float64 {
-		out := make([]float64, len(die))
+	leak := func(dst, die []float64) {
 		for i, temp := range die {
-			out[i] = 0.02 * math.Exp(0.02*(temp-40))
+			dst[i] = 0.02 * math.Exp(0.02*(temp-40))
 		}
-		return out
 	}
 	withLeak, err := RunCycle(nw, entries, CycleOptions{Dt: 10e-6, Leak: leak})
 	if err != nil {

@@ -10,7 +10,10 @@ cd "$(dirname "$0")/.."
 echo "== go build" && go build ./...
 echo "== go vet" && go vet ./...
 echo "== go test" && go test ./...
-echo "== go test -race (cache + streaming + service paths)" && go test -race ./internal/sim ./internal/core ./server .
+echo "== thermal differential (banded vs dense reference, batched, singular)" \
+    && go test -count=1 -run 'TestBanded|TestSteadySolveBatch|TestHotLoopsAllocationFree' ./internal/thermal
+echo "== go test -race (cache + streaming + service + thermal concurrency)" \
+    && go test -race ./internal/sim ./internal/core ./internal/thermal ./server .
 echo "== service smoke (hotnocd + figure1/hotsim -server)" && sh scripts/service_smoke.sh
 
 if command -v staticcheck >/dev/null 2>&1; then
@@ -24,5 +27,8 @@ go test -run '^$' -bench=. -benchtime=1x ./internal/...
 
 echo "== bench smoke (warm build reconstitution, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkBuildWarm' -benchtime=1x .
+
+echo "== bench trajectory + alloc guard (scripts/bench.sh, thermal only)"
+BENCHTIME=100x SKIP_PAPER=1 BENCH_OUT=/tmp/bench_smoke.json sh scripts/bench.sh
 
 echo "ok"

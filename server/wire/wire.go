@@ -96,6 +96,12 @@ type ReactiveSpec struct {
 	WarmupBlocks int     `json:"warmup_blocks,omitempty"`
 	SensorQuantC float64 `json:"sensor_quant_c,omitempty"`
 	Dt           float64 `json:"dt,omitempty"`
+	// PeaksEvery downsamples the BlockPeaks timeline in the outcome
+	// (see core.ReactiveConfig.PeaksEvery): 0/absent records every block
+	// boundary, k>1 every k-th, negative omits the timeline — the knob
+	// that keeps high-horizon remote sweeps from shipping one float per
+	// block over the wire.
+	PeaksEvery int `json:"peaks_every,omitempty"`
 }
 
 // FromPoint converts a grid point to wire form.
@@ -114,6 +120,7 @@ func FromPoint(p sim.Point) PointSpec {
 			WarmupBlocks: p.Reactive.WarmupBlocks,
 			SensorQuantC: p.Reactive.SensorQuantC,
 			Dt:           p.Reactive.Dt,
+			PeaksEvery:   p.Reactive.PeaksEvery,
 		}
 	}
 	return ps
@@ -150,6 +157,7 @@ func (ps PointSpec) Point() (sim.Point, error) {
 			WarmupBlocks: ps.Reactive.WarmupBlocks,
 			SensorQuantC: ps.Reactive.SensorQuantC,
 			Dt:           ps.Reactive.Dt,
+			PeaksEvery:   ps.Reactive.PeaksEvery,
 		}
 	default:
 		return sim.Point{}, fmt.Errorf("unknown point kind %q", ps.Kind)

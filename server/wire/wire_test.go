@@ -17,7 +17,12 @@ func TestPointSpecRoundTrip(t *testing.T) {
 		{Config: "E", Scheme: core.Rot(), Blocks: 1, ExcludeMigrationEnergy: true},
 		sim.Reactive("B", core.ReactiveConfig{
 			Scheme: core.Rot(), TriggerC: 83.5, SimBlocks: 300, WarmupBlocks: 150,
-			SensorQuantC: 0.5, Dt: 1e-5,
+			SensorQuantC: 0.5, Dt: 1e-5, PeaksEvery: 16,
+		}),
+		// Negative PeaksEvery (timeline opt-out) is a meaningful non-zero
+		// value and must survive omitempty.
+		sim.Reactive("C", core.ReactiveConfig{
+			Scheme: core.XYShift(), TriggerC: 80, PeaksEvery: -1,
 		}),
 	}
 	for i, p := range pts {
@@ -43,7 +48,7 @@ func TestPointSpecRoundTrip(t *testing.T) {
 			w, g := *p.Reactive, *got.Reactive
 			if g.TriggerC != w.TriggerC || g.SimBlocks != w.SimBlocks ||
 				g.WarmupBlocks != w.WarmupBlocks || g.SensorQuantC != w.SensorQuantC ||
-				g.Dt != w.Dt {
+				g.Dt != w.Dt || g.PeaksEvery != w.PeaksEvery {
 				t.Fatalf("point %d reactive parameters did not round-trip: got %+v, want %+v", i, g, w)
 			}
 			if g.Scheme.Name != p.Scheme.Name || g.Scheme.StepFn == nil {
