@@ -16,6 +16,13 @@
 // Because JSON round-trips float64 bit-exactly, results obtained through
 // a daemon are bitwise identical to an in-process run at the same scale.
 //
+// Daemons running with a tenants file require an API key on every
+// request; set one with WithAPIKey (CLIs read it from -api-key or
+// HOTNOC_API_KEY). A tenant over its submit rate or queued-job bound is
+// answered with 429 + Retry-After, surfaced as a *RetryableError;
+// WithRetry makes submissions absorb those transparently with bounded
+// backoff.
+//
 // Remote outcomes carry a metadata-only Built: StaticPeakC, EnergyScale,
 // BlockCycles, and a System holding just the grid dimensions and clock —
 // what result consumers (tables, heat maps, period conversion) need. The
@@ -30,11 +37,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,6 +59,8 @@ type Client struct {
 	base     string
 	http     *http.Client
 	scale    int
+	apiKey   string
+	retries  int
 	progress func(hotnoc.Event)
 }
 
@@ -77,6 +88,40 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
+// WithAPIKey authenticates every request as "Authorization: Bearer
+// <key>" — required against a daemon running with a tenants file.
+// Empty means unauthenticated (an open or anonymous-allowing daemon).
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// WithRetry makes sweep submissions retry up to n times when the daemon
+// answers with a retryable rejection (429 over-rate/over-queue, 503
+// draining), sleeping the server's Retry-After hint — or an exponential
+// backoff from 100ms, capped at 30s, when the server gave none —
+// between attempts. Only submission is retried; it is idempotent from
+// the daemon's view because a rejected submission registers no job.
+func WithRetry(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// RetryableError is a rejection the caller may retry later: the daemon
+// answered 429 (the tenant is over its submit rate or queued-job bound)
+// or 503 (draining). RetryAfter carries the parsed Retry-After hint,
+// zero when the server sent none.
+type RetryableError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *RetryableError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("hotnocd: %s (retry after %s)", e.Message, e.RetryAfter)
+	}
+	return "hotnocd: " + e.Message
+}
+
 // New returns a client for the daemon at baseURL (e.g.
 // "http://localhost:7077"). No connection is made until the first call.
 func New(baseURL string, opts ...Option) *Client {
@@ -94,14 +139,15 @@ var _ hotnoc.Session = (*Client)(nil)
 
 // NewSession returns the experiment session behind a CLI's flags: a
 // remote daemon client when serverURL is non-empty, otherwise a local Lab
-// built from the remaining options. In remote mode workers and cacheDir
-// are the daemon's business and are ignored; progress (when non-nil)
-// receives pipeline events either way. Every hotnoc CLI routes its
-// -server flag through this one switch so the local and remote paths
-// cannot drift apart.
-func NewSession(serverURL string, scale, workers int, cacheDir string, progress func(hotnoc.Event)) hotnoc.Session {
+// built from the remaining options. In remote mode apiKey authenticates
+// against a tenanted daemon (empty = unauthenticated), while workers and
+// cacheDir are the daemon's business and are ignored; progress (when
+// non-nil) receives pipeline events either way. Every hotnoc CLI routes
+// its -server and -api-key flags through this one switch so the local
+// and remote paths cannot drift apart.
+func NewSession(serverURL, apiKey string, scale, workers int, cacheDir string, progress func(hotnoc.Event)) hotnoc.Session {
 	if serverURL != "" {
-		opts := []Option{WithScale(scale)}
+		opts := []Option{WithScale(scale), WithAPIKey(apiKey)}
 		if progress != nil {
 			opts = append(opts, WithProgress(progress))
 		}
@@ -128,7 +174,24 @@ func (c *Client) StartSweep(ctx context.Context, pts []hotnoc.SweepPoint) (strin
 		req.Points[i] = wire.FromPoint(p)
 	}
 	var created wire.SweepCreated
-	if err := c.postJSON(ctx, "/v1/sweeps", req, &created); err != nil {
+	err := c.postJSON(ctx, "/v1/sweeps", req, &created)
+	for attempt := 0; attempt < c.retries && err != nil; attempt++ {
+		var re *RetryableError
+		if !errors.As(err, &re) {
+			break
+		}
+		delay := re.RetryAfter
+		if delay <= 0 {
+			delay = min(100*time.Millisecond<<attempt, 30*time.Second)
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(delay):
+		}
+		err = c.postJSON(ctx, "/v1/sweeps", req, &created)
+	}
+	if err != nil {
 		return "", err
 	}
 	return created.ID, nil
@@ -178,6 +241,7 @@ func (c *Client) streamJob(ctx context.Context, id string, pts []hotnoc.SweepPoi
 		return false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return false, err
@@ -468,7 +532,15 @@ func (c *Client) postJSON(ctx context.Context, path string, body, v any) error {
 	return c.do(req, v)
 }
 
+// authorize attaches the client's API key as a Bearer credential.
+func (c *Client) authorize(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+}
+
 func (c *Client) do(req *http.Request, v any) error {
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -484,12 +556,21 @@ func (c *Client) do(req *http.Request, v any) error {
 }
 
 // decodeError turns a non-2xx response into an error, preferring the
-// server's ErrorMsg body.
+// server's ErrorMsg body. 429 and 503 become *RetryableError carrying
+// the parsed Retry-After hint.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(body))
 	var em wire.ErrorMsg
 	if json.Unmarshal(body, &em) == nil && em.Error != "" {
-		return fmt.Errorf("hotnocd: %s (%s)", em.Error, resp.Status)
+		msg = em.Error
 	}
-	return fmt.Errorf("hotnocd: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		re := &RetryableError{Status: resp.StatusCode, Message: fmt.Sprintf("%s (%s)", msg, resp.Status)}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			re.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return re
+	}
+	return fmt.Errorf("hotnocd: %s (%s)", msg, resp.Status)
 }

@@ -3,11 +3,13 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"hotnoc"
 	"hotnoc/server/wire"
@@ -83,5 +85,117 @@ func TestSweepDetectsKindSkew(t *testing.T) {
 	}
 	if len(outs) != 1 {
 		t.Fatalf("%d outcomes, want 1", len(outs))
+	}
+}
+
+// throttlingDaemon answers its first reject sweep submissions with 429
+// (carrying retryAfter when non-empty) and then admits, recording every
+// request's Authorization header.
+func throttlingDaemon(t *testing.T, reject int, retryAfter string) (url string, attempts *int, auths *[]string) {
+	t.Helper()
+	var n int
+	var seen []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		n++
+		seen = append(seen, r.Header.Get("Authorization"))
+		if n <= reject {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(wire.ErrorMsg{Error: "tenant is over its submit rate"})
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(wire.SweepCreated{ID: "job-1", Points: 1})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL, &n, &seen
+}
+
+// TestRetryableError: a 429 surfaces as a typed *RetryableError with
+// the parsed Retry-After, so callers can implement their own pacing.
+func TestRetryableError(t *testing.T) {
+	url, attempts, _ := throttlingDaemon(t, 1000, "7")
+	c := New(url)
+	_, err := c.StartSweep(context.Background(), []hotnoc.SweepPoint{hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1)})
+	var re *RetryableError
+	if !errors.As(err, &re) {
+		t.Fatalf("429 produced %T (%v), want *RetryableError", err, err)
+	}
+	if re.Status != http.StatusTooManyRequests {
+		t.Fatalf("RetryableError.Status = %d, want 429", re.Status)
+	}
+	if re.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryableError.RetryAfter = %s, want 7s", re.RetryAfter)
+	}
+	if !strings.Contains(re.Error(), "submit rate") {
+		t.Fatalf("error text %q drops the server's message", re.Error())
+	}
+	if *attempts != 1 {
+		t.Fatalf("client without WithRetry submitted %d times, want 1", *attempts)
+	}
+}
+
+// TestWithRetrySubmits: WithRetry(n) absorbs up to n retryable
+// rejections with backoff and then succeeds; a non-retryable error is
+// returned immediately.
+func TestWithRetrySubmits(t *testing.T) {
+	url, attempts, _ := throttlingDaemon(t, 2, "")
+	c := New(url, WithRetry(3))
+	pts := []hotnoc.SweepPoint{hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1)}
+	id, err := c.StartSweep(context.Background(), pts)
+	if err != nil {
+		t.Fatalf("retrying submit failed: %v", err)
+	}
+	if id != "job-1" {
+		t.Fatalf("retried submit returned id %q, want job-1", id)
+	}
+	if *attempts != 3 {
+		t.Fatalf("daemon saw %d submissions, want 3 (two rejections + success)", *attempts)
+	}
+
+	// More rejections than retries: the final RetryableError surfaces.
+	url2, attempts2, _ := throttlingDaemon(t, 1000, "")
+	c2 := New(url2, WithRetry(2))
+	_, err = c2.StartSweep(context.Background(), pts)
+	var re *RetryableError
+	if !errors.As(err, &re) {
+		t.Fatalf("exhausted retries produced %T (%v), want *RetryableError", err, err)
+	}
+	if *attempts2 != 3 {
+		t.Fatalf("daemon saw %d submissions, want 3 (initial + 2 retries)", *attempts2)
+	}
+}
+
+// TestWithRetryHonorsContext: a canceled context stops the backoff wait
+// instead of sleeping it out.
+func TestWithRetryHonorsContext(t *testing.T) {
+	url, _, _ := throttlingDaemon(t, 1000, "3600")
+	c := New(url, WithRetry(5))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.StartSweep(ctx, []hotnoc.SweepPoint{hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled retry returned %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry slept through the server's Retry-After despite context cancellation")
+	}
+}
+
+// TestAPIKeyHeader: WithAPIKey attaches the Bearer credential to every
+// request.
+func TestAPIKeyHeader(t *testing.T) {
+	url, _, auths := throttlingDaemon(t, 0, "")
+	c := New(url, WithAPIKey("s3cret"))
+	if _, err := c.StartSweep(context.Background(), []hotnoc.SweepPoint{hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*auths) != 1 || (*auths)[0] != "Bearer s3cret" {
+		t.Fatalf("daemon saw Authorization %v, want [Bearer s3cret]", *auths)
 	}
 }

@@ -42,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
+	apiKey := flag.String("api-key", os.Getenv("HOTNOC_API_KEY"), "API key for a -server daemon that requires authentication (default $HOTNOC_API_KEY)")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
 	bars := flag.Bool("bars", false, "also render per-configuration bar charts")
@@ -60,7 +61,7 @@ func main() {
 	if *progress {
 		logEvent = func(ev hotnoc.Event) { fmt.Fprintln(os.Stderr, "figure1:", ev) }
 	}
-	session := client.NewSession(*serverURL, *scale, *workers, *cacheDir, logEvent)
+	session := client.NewSession(*serverURL, *apiKey, *scale, *workers, *cacheDir, logEvent)
 
 	names := strings.Split(*configs, ",")
 	res, err := session.Figure1(ctx, names)

@@ -7,6 +7,9 @@
 //
 //	hotnocd [-addr :7077] [-cache-dir DIR] [-cache-limit N] [-workers N]
 //	        [-max-jobs N] [-retain-jobs N] [-retain-for 1h]
+//	        [-tenants FILE] [-allow-anonymous]
+//	        [-default-max-running N] [-default-max-queued N]
+//	        [-default-rate R] [-default-burst N] [-max-body BYTES]
 //	        [-drain-timeout 1m] [-v]
 //
 // -addr is the listen address. -cache-dir persists NoC characterizations
@@ -16,12 +19,28 @@
 // recommended for a long-lived daemon); -cache-limit bounds the file
 // count of each artifact kind with LRU eviction. -workers bounds
 // each Lab's worker pool (0 = one per core). -max-jobs bounds
-// concurrently running sweep jobs: at the bound, new submissions are
-// rejected with 429 and a Retry-After header. -retain-jobs caps how many
-// finished jobs (and their replayable event logs) stay in memory;
-// -retain-for expires finished jobs after a TTL — between them a
-// long-lived daemon's memory stops growing with its history. On
-// SIGINT/SIGTERM the daemon stops accepting sweeps, drains in-flight
+// concurrently running sweep jobs: at the bound, new submissions queue
+// and a weighted-fair scheduler dispatches them as slots free up.
+// -retain-jobs caps how many finished jobs (and their replayable event
+// logs) stay in memory; -retain-for expires finished jobs after a TTL —
+// between them a long-lived daemon's memory stops growing with its
+// history.
+//
+// -tenants names a JSON tenants file (see the server/tenant package for
+// the format): every /v1 request must then present a known API key as
+// "Authorization: Bearer <key>" or it is rejected with 401 (403 for
+// disabled tenants). -allow-anonymous additionally admits requests with
+// no credentials as the anonymous tenant — the migration path for
+// legacy clients. Without -tenants the daemon is open, exactly as
+// before. The -default-* flags set the limits a tenants-file entry
+// inherits when it omits them, and the anonymous tenant's limits:
+// -default-max-running caps a tenant's concurrently running jobs
+// (excess queues), -default-max-queued caps its queued jobs and
+// -default-rate/-default-burst its submit-rate token bucket (excess is
+// 429 + Retry-After). Zero means unbounded. -max-body caps the POST
+// /v1/sweeps body (413 beyond it; 0 = 8 MiB).
+//
+// On SIGINT/SIGTERM the daemon stops accepting sweeps, drains in-flight
 // jobs for up to -drain-timeout, then cancels whatever remains and
 // exits. -v logs requests.
 //
@@ -49,6 +68,7 @@ import (
 	"time"
 
 	"hotnoc/server"
+	"hotnoc/server/tenant"
 )
 
 func main() {
@@ -56,20 +76,54 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	cacheLimit := flag.Int("cache-limit", 0, "bound the cache file count per artifact kind (LRU eviction; 0 = unbounded)")
 	workers := flag.Int("workers", 0, "per-Lab sweep worker pool size (0 = one per core)")
-	maxJobs := flag.Int("max-jobs", 0, "maximum concurrently running sweep jobs; excess submissions get 429 (0 = unbounded)")
+	maxJobs := flag.Int("max-jobs", 0, "maximum concurrently running sweep jobs; excess queues for weighted-fair dispatch (0 = unbounded)")
 	retainJobs := flag.Int("retain-jobs", 0, "finished jobs kept in memory for late subscribers (0 = unbounded)")
 	retainFor := flag.Duration("retain-for", 0, "finished-job TTL, e.g. 1h (0 = keep until DELETEd)")
+	tenantsFile := flag.String("tenants", "", "JSON tenants file; requires an API key on every /v1 request")
+	allowAnon := flag.Bool("allow-anonymous", false, "with -tenants, admit unauthenticated requests as the anonymous tenant")
+	defMaxRunning := flag.Int("default-max-running", 0, "default per-tenant running-job quota; excess queues (0 = unbounded)")
+	defMaxQueued := flag.Int("default-max-queued", 0, "default per-tenant queued-job bound; excess is 429 (0 = unbounded)")
+	defRate := flag.Float64("default-rate", 0, "default per-tenant submit rate in jobs/sec; excess is 429 (0 = unbounded)")
+	defBurst := flag.Int("default-burst", 0, "default per-tenant submit-rate burst (values below 1 act as 1)")
+	maxBody := flag.Int64("max-body", 0, "maximum POST /v1/sweeps body in bytes; excess is 413 (0 = 8 MiB)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to drain in-flight jobs on shutdown")
 	verbose := flag.Bool("v", false, "log requests")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "hotnocd: ", log.LstdFlags)
 
+	defaults := tenant.Limits{
+		MaxRunning: *defMaxRunning,
+		MaxQueued:  *defMaxQueued,
+		RatePerSec: *defRate,
+		Burst:      *defBurst,
+	}
+	var registry *tenant.Registry
+	if *tenantsFile != "" {
+		var err error
+		registry, err = tenant.Load(*tenantsFile, defaults, *allowAnon)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		mode := "API key required"
+		if *allowAnon {
+			mode = "anonymous requests allowed"
+		}
+		logger.Printf("loaded %d tenants from %s (%s)", registry.Len(), *tenantsFile, mode)
+	} else {
+		registry = tenant.Open(defaults)
+		if *allowAnon {
+			logger.Printf("-allow-anonymous has no effect without -tenants (the daemon is open)")
+		}
+	}
+
 	svc := server.New(server.Config{
 		CacheDir:   *cacheDir,
 		CacheLimit: *cacheLimit,
 		Workers:    *workers,
 		MaxJobs:    *maxJobs,
+		Tenants:    registry,
+		MaxBody:    *maxBody,
 		RetainJobs: *retainJobs,
 		RetainFor:  *retainFor,
 	})
@@ -77,7 +131,16 @@ func main() {
 	if *verbose {
 		handler = logRequests(logger, svc)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	// ReadHeaderTimeout bounds how long an idle connection may sit on its
+	// request line before the daemon reclaims it (slowloris); IdleTimeout
+	// reclaims kept-alive connections between requests. No WriteTimeout:
+	// event streams are legitimately long-lived.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

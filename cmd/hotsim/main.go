@@ -42,6 +42,7 @@ func main() {
 	noMigEnergy := flag.Bool("nomigenergy", false, "exclude migration energy (ablation)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
+	apiKey := flag.String("api-key", os.Getenv("HOTNOC_API_KEY"), "API key for a -server daemon that requires authentication (default $HOTNOC_API_KEY)")
 	reactive := flag.Bool("reactive", false, "evaluate the threshold-triggered policy instead of the periodic one")
 	trigger := flag.Float64("trigger", 84, "reactive sensor threshold in °C")
 	simBlocks := flag.Int("sim-blocks", 2048, "reactive simulation horizon in decoded blocks")
@@ -59,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hotsim:", err)
 		os.Exit(1)
 	}
-	session := client.NewSession(*serverURL, *scale, 0, *cacheDir, nil)
+	session := client.NewSession(*serverURL, *apiKey, *scale, 0, *cacheDir, nil)
 
 	// Flags belonging to the other mode are an error, not silently
 	// dropped: the threshold policy has no fixed period and always

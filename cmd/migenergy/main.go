@@ -34,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
+	apiKey := flag.String("api-key", os.Getenv("HOTNOC_API_KEY"), "API key for a -server daemon that requires authentication (default $HOTNOC_API_KEY)")
 	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr")
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	if *progress {
 		logEvent = func(ev hotnoc.Event) { fmt.Fprintln(os.Stderr, "migenergy:", ev) }
 	}
-	session := client.NewSession(*serverURL, *scale, *workers, *cacheDir, logEvent)
+	session := client.NewSession(*serverURL, *apiKey, *scale, *workers, *cacheDir, logEvent)
 
 	studies, err := session.MigrationEnergy(ctx, *config)
 	if err != nil {

@@ -30,12 +30,13 @@ func main() {
 	config := flag.String("config", "A", "configuration letter (A-E)")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	serverURL := flag.String("server", "", "fetch the report from a hotnocd daemon at this base URL instead of building in process")
+	apiKey := flag.String("api-key", os.Getenv("HOTNOC_API_KEY"), "API key for a -server daemon that requires authentication (default $HOTNOC_API_KEY)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	session := client.NewSession(*serverURL, *scale, 0, "", nil)
+	session := client.NewSession(*serverURL, *apiKey, *scale, 0, "", nil)
 	rep, err := session.Placement(ctx, *config)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "placer:", err)

@@ -32,6 +32,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	cacheDir := flag.String("cache-dir", "", "persist NoC characterizations and calibrated build snapshots under this directory")
 	serverURL := flag.String("server", "", "run against a hotnocd daemon at this base URL instead of in process")
+	apiKey := flag.String("api-key", os.Getenv("HOTNOC_API_KEY"), "API key for a -server daemon that requires authentication (default $HOTNOC_API_KEY)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -42,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "thermalmap:", err)
 		os.Exit(1)
 	}
-	session := client.NewSession(*serverURL, *scale, 0, *cacheDir, nil)
+	session := client.NewSession(*serverURL, *apiKey, *scale, 0, *cacheDir, nil)
 	outs, err := session.SweepAll(ctx, []hotnoc.SweepPoint{{Config: *config, Scheme: scheme}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermalmap:", err)

@@ -24,12 +24,12 @@ type Evaluator struct {
 // allocation-free: die-sized power/leak/average maps and node-sized
 // ping-pong state vectors. Lazily built on the first cycle evaluation.
 type cycleScratch struct {
-	avg      []float64 // time-averaged power map, NDie
-	withLeak []float64 // warm-start power map with leakage folded in, NDie
-	die      []float64 // die-layer temperatures, NDie
-	leak     []float64 // leakage power map, NDie
-	power    []float64 // per-step power map, NDie
-	state    []float64 // warm-start fixed-point state, NNodes
+	avg       []float64 // time-averaged power map, NDie
+	withLeak  []float64 // warm-start power map with leakage folded in, NDie
+	die       []float64 // die-layer temperatures, NDie
+	leak      []float64 // leakage power map, NDie
+	power     []float64 // per-step power map, NDie
+	state     []float64 // warm-start fixed-point state, NNodes
 	stateNext []float64
 	prev      []float64 // repetition-start state for convergence checks, NNodes
 }

@@ -7,11 +7,15 @@
 # It then pushes a reactive (threshold-triggered) evaluation through
 # the same daemon and requires hotsim's report to be byte-identical to
 # the in-process run — the unified point model's remote surface, end to
-# end. Finally it restarts the daemon on the same cache dir and requires
+# end. It then restarts the daemon on the same cache dir and requires
 # the restarted daemon to warm-start: byte-identical output with zero
 # builds (annealing/calibration) and zero NoC decodes, asserted through
-# /v1/stats. CI runs this as the service-smoke job; check.sh mirrors it
-# locally.
+# /v1/stats. Finally it restarts once more with a tenants file and
+# exercises the multi-tenant surface: unauthenticated submissions are
+# 401, an authenticated figure1 -server run stays byte-identical to the
+# in-process run, an over-rate tenant gets 429 + Retry-After, and the
+# rejection shows up in that tenant's /v1/stats accounting. CI runs
+# this as the service-smoke job; check.sh mirrors it locally.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -144,4 +148,131 @@ case "$stats" in
     ;;
 esac
 
-echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim + warm daemon restart: 0 builds, 0 decodes)"
+echo "== restarting the daemon with a tenants file"
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+
+hash_key() {
+    if command -v sha256sum >/dev/null 2>&1; then
+        printf '%s' "$1" | sha256sum | cut -d' ' -f1
+    elif command -v shasum >/dev/null 2>&1; then
+        printf '%s' "$1" | shasum -a 256 | cut -d' ' -f1
+    else
+        printf '%s' "$1" | openssl dgst -sha256 | awk '{print $NF}'
+    fi
+}
+
+ci_key="smoke-ci-key-$$"
+throttled_key="smoke-throttled-key-$$"
+cat >"$workdir/tenants.json" <<EOF
+{
+  "tenants": [
+    {"id": "ci", "key_sha256": "$(hash_key "$ci_key")", "weight": 2},
+    {"id": "throttled", "key_sha256": "$(hash_key "$throttled_key")",
+     "rate_per_sec": 0.001, "burst": 1}
+  ]
+}
+EOF
+"$workdir/hotnocd" -addr "$addr" -cache-dir "$workdir/cache" \
+    -tenants "$workdir/tenants.json" >"$workdir/daemon3.log" 2>&1 &
+daemon_pid=$!
+
+i=0
+while [ "$i" -lt 50 ]; do
+    if fetch "http://$addr/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+
+# post_sweep KEY: submit a one-point sweep (Bearer KEY when non-empty),
+# print the HTTP status, leave the response headers in resp_hdrs.
+post_sweep() {
+    body='{"scale":8,"points":[{"config":"A","scheme":"Rot","blocks":1}]}'
+    if command -v curl >/dev/null 2>&1; then
+        if [ -n "$1" ]; then
+            curl -s -o /dev/null -D "$workdir/resp_hdrs" -w '%{http_code}' \
+                -H "Authorization: Bearer $1" -H 'Content-Type: application/json' \
+                -d "$body" "http://$addr/v1/sweeps"
+        else
+            curl -s -o /dev/null -D "$workdir/resp_hdrs" -w '%{http_code}' \
+                -H 'Content-Type: application/json' \
+                -d "$body" "http://$addr/v1/sweeps"
+        fi
+    else
+        if [ -n "$1" ]; then
+            wget -O /dev/null --server-response \
+                --header "Authorization: Bearer $1" --header 'Content-Type: application/json' \
+                --post-data "$body" "http://$addr/v1/sweeps" 2>"$workdir/resp_hdrs" || true
+        else
+            wget -O /dev/null --server-response \
+                --header 'Content-Type: application/json' \
+                --post-data "$body" "http://$addr/v1/sweeps" 2>"$workdir/resp_hdrs" || true
+        fi
+        awk '/^  HTTP\//{code=$2} END{print code}' "$workdir/resp_hdrs"
+    fi
+}
+
+echo "== unauthenticated submission is rejected"
+status=$(post_sweep "")
+if [ "$status" != "401" ]; then
+    echo "service smoke: unauthenticated sweep answered $status, want 401" >&2
+    cat "$workdir/daemon3.log" >&2
+    exit 1
+fi
+status=$(post_sweep "wrong-key")
+if [ "$status" != "401" ]; then
+    echo "service smoke: wrong-key sweep answered $status, want 401" >&2
+    exit 1
+fi
+
+echo "== figure1 -server http://$addr -api-key ... (authenticated tenant)"
+"$workdir/figure1" -server "http://$addr" -api-key "$ci_key" \
+    -scale 8 -configs A,E -json >"$workdir/remote4.json"
+if ! cmp -s "$workdir/local.json" "$workdir/remote4.json"; then
+    echo "service smoke: authenticated remote JSON differs from in-process run" >&2
+    diff "$workdir/local.json" "$workdir/remote4.json" >&2 || true
+    exit 1
+fi
+
+echo "== over-rate tenant gets 429 + Retry-After"
+status=$(post_sweep "$throttled_key")
+if [ "$status" != "201" ]; then
+    echo "service smoke: throttled tenant's first sweep answered $status, want 201" >&2
+    exit 1
+fi
+status=$(post_sweep "$throttled_key")
+if [ "$status" != "429" ]; then
+    echo "service smoke: over-rate sweep answered $status, want 429" >&2
+    exit 1
+fi
+if ! grep -qi '^retry-after:' "$workdir/resp_hdrs" &&
+    ! grep -qi 'Retry-After' "$workdir/resp_hdrs"; then
+    echo "service smoke: over-rate 429 carries no Retry-After header" >&2
+    cat "$workdir/resp_hdrs" >&2
+    exit 1
+fi
+
+echo "== per-tenant accounting on /v1/stats"
+if command -v curl >/dev/null 2>&1; then
+    stats=$(curl -fsS -H "Authorization: Bearer $ci_key" "http://$addr/v1/stats")
+else
+    stats=$(wget -qO- --header "Authorization: Bearer $ci_key" "http://$addr/v1/stats")
+fi
+case "$stats" in
+*'"auth_required":true'*) ;;
+*)
+    echo "service smoke: stats do not report auth_required: $stats" >&2
+    exit 1
+    ;;
+esac
+case "$stats" in
+*'"id":"throttled"'*'"rejected":1'* | *'"rejected":1'*'"id":"throttled"'*) ;;
+*)
+    echo "service smoke: throttled tenant's rejection missing from stats: $stats" >&2
+    exit 1
+    ;;
+esac
+
+echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim + warm daemon restart: 0 builds, 0 decodes + tenants: 401/429/per-tenant stats)"

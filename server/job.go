@@ -17,17 +17,27 @@ type message struct {
 	data  []byte
 }
 
-// job is one sweep accepted by the daemon. The sweep runs in its own
-// goroutine the moment the job is created; every event it produces is
-// appended to an in-memory log, and each SSE subscriber replays the log
-// from the start before following live appends — so a client that
-// connects (or reconnects) late still sees every outcome, in point order.
+// job is one sweep accepted by the daemon. A job is admitted in the
+// queued state and dispatched by the weighted-fair scheduler; from
+// dispatch, the sweep runs in its own goroutine. Every event it
+// produces is appended to an in-memory log, and each SSE subscriber
+// replays the log from the start before following live appends — so a
+// client that connects (or reconnects) late still sees every outcome,
+// in point order. Lifecycle transitions (queued, running) are
+// themselves log events, attributed to the job's tenant.
 type job struct {
-	id        string
-	scale     int
-	points    int
+	id     string
+	tenant string
+	scale  int
+	points int
+	// seq is the daemon-wide admission order, the scheduler's FIFO and
+	// queue-position key.
+	seq       int
 	createdAt time.Time
-	cancel    context.CancelFunc
+	// ctx carries the job's cancellation from admission through dispatch;
+	// cancel fires it, whether the job is still queued or already running.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu         sync.Mutex
 	msgs       []message
@@ -35,19 +45,36 @@ type job struct {
 	state      string
 	done       int
 	errMsg     string
+	startedAt  time.Time
 	finishedAt time.Time
 }
 
-func newJob(id string, scale, points int, cancel context.CancelFunc) *job {
-	return &job{
+func newJob(ctx context.Context, id, tenant string, scale, points, seq int, cancel context.CancelFunc) *job {
+	j := &job{
 		id:        id,
+		tenant:    tenant,
 		scale:     scale,
 		points:    points,
+		seq:       seq,
 		createdAt: time.Now(),
+		ctx:       ctx,
 		cancel:    cancel,
 		notify:    make(chan struct{}),
-		state:     wire.JobRunning,
+		state:     wire.JobQueued,
 	}
+	j.append(wire.EventState, wire.StateMsg{State: wire.JobQueued, Tenant: tenant})
+	return j
+}
+
+// start marks the job dispatched: state becomes running and the
+// transition joins the event log.
+func (j *job) start() {
+	data, _ := json.Marshal(wire.StateMsg{State: wire.JobRunning, Tenant: j.tenant})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = wire.JobRunning
+	j.startedAt = time.Now()
+	j.appendLocked(wire.EventState, data)
 }
 
 // append marshals v and adds it to the event log, waking subscribers.
@@ -100,33 +127,48 @@ func (j *job) fail(state string, err error) {
 	j.appendLocked(wire.EventError, data)
 }
 
-// finished reports whether the job reached a terminal state.
-func (j *job) finished() bool {
+// terminalState reports whether state is one a job never leaves.
+func terminalState(state string) bool {
+	return state != wire.JobQueued && state != wire.JobRunning
+}
+
+// terminal reports whether the job reached a terminal state.
+func (j *job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state != wire.JobRunning
+	return terminalState(j.state)
+}
+
+// stateNow returns the job's current state.
+func (j *job) stateNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
 }
 
 // terminalAt returns when the job reached a terminal state, and false
-// while it is still running. Retention measures a finished job's age
-// from this instant, not from creation.
+// while it is still queued or running. Retention measures a finished
+// job's age from this instant, not from creation.
 func (j *job) terminalAt() (time.Time, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.finishedAt, j.state != wire.JobRunning
+	return j.finishedAt, terminalState(j.state)
 }
 
-// snapshot returns the job's wire description.
+// snapshot returns the job's wire description. Queue position and ETA
+// are the server's knowledge, filled by Server.jobInfo.
 func (j *job) snapshot() wire.JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return wire.JobInfo{
 		ID:         j.id,
 		State:      j.state,
+		Tenant:     j.tenant,
 		Scale:      j.scale,
 		Points:     j.points,
 		Done:       j.done,
 		CreatedAt:  j.createdAt,
+		StartedAt:  j.startedAt,
 		FinishedAt: j.finishedAt,
 		Error:      j.errMsg,
 	}
@@ -138,6 +180,6 @@ func (j *job) next(i int) (batch []message, complete bool, more <-chan struct{})
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	batch = j.msgs[i:]
-	complete = j.state != wire.JobRunning && i+len(batch) == len(j.msgs)
+	complete = terminalState(j.state) && i+len(batch) == len(j.msgs)
 	return batch, complete, j.notify
 }

@@ -22,17 +22,33 @@
 // a 400 naming the offending point — the same fail-fast validation the
 // in-process runner applies.
 //
-// A job starts executing the moment it is accepted; the SSE stream
-// replays the job's full event log on (re)connect before following live
-// events, so subscribing is race-free. The daemon keeps one Lab per
-// scale: concurrent jobs over the same grid points share builds and
+// The daemon is multi-tenant. Config.Tenants (a tenant.Registry) maps
+// Authorization: Bearer keys to identities on every /v1 route: missing
+// or wrong credentials are 401, disabled tenants 403, and an open
+// registry (no tenants file) preserves the pre-tenancy trust-everyone
+// behavior by attributing every request to the anonymous tenant. Each
+// tenant carries admission limits — at its running-job quota new
+// submissions queue; at its queued-job bound or over its submit rate
+// they are rejected with 429 + Retry-After — and a scheduling weight:
+// jobs wait in per-tenant FIFO queues and a stride/weighted-fair
+// scheduler (see sched.go) dispatches them into the global
+// Config.MaxJobs slots in proportion to tenant weights, so one greedy
+// tenant can no longer starve the rest. Queued jobs surface their
+// queue position and a rough ETA on GET /v1/jobs/{id}; per-tenant
+// accounting (running/queued/terminal counts, rejected submissions,
+// cumulative evaluated points) is on /v1/stats.
+//
+// The SSE stream replays the job's full event log on (re)connect
+// before following live events, so subscribing is race-free — also
+// while the job is still queued. The daemon keeps one Lab per scale:
+// concurrent jobs over the same grid points share builds and
 // characterizations through the Lab's singleflight caches, which is the
 // whole point of running this as a service.
 //
-// Config.MaxJobs bounds concurrently running jobs (saturated submissions
-// get 429 + Retry-After); Config.RetainJobs and Config.RetainFor bound
-// how long finished jobs and their event logs stay addressable, so a
-// long-lived daemon's memory does not grow with its history.
+// Config.RetainJobs and Config.RetainFor bound how long finished jobs
+// and their event logs stay addressable, so a long-lived daemon's
+// memory does not grow with its history; Config.MaxBody bounds sweep
+// request bodies (oversized grids are 413, not an allocation).
 package server
 
 import (
@@ -44,10 +60,12 @@ import (
 	"slices"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"hotnoc"
+	"hotnoc/server/tenant"
 	"hotnoc/server/wire"
 )
 
@@ -65,10 +83,19 @@ type Config struct {
 	// at one scale multiplex onto the same pool.
 	Workers int
 	// MaxJobs bounds concurrently running sweep jobs across all scales.
-	// At the bound, POST /v1/sweeps is rejected with 429 Too Many
-	// Requests and a Retry-After header instead of queueing unbounded
-	// work behind the worker pools. Zero means unbounded.
+	// At the bound, admitted submissions queue and the weighted-fair
+	// scheduler dispatches them as slots free up; only a tenant's own
+	// bounds (queued jobs, submit rate) produce 429s. Zero means
+	// unbounded.
 	MaxJobs int
+	// Tenants is the identity layer: every /v1 request resolves to a
+	// tenant through it (401/403 otherwise). Nil means an open daemon:
+	// all requests are the anonymous tenant with unbounded limits —
+	// the pre-tenancy behavior.
+	Tenants *tenant.Registry
+	// MaxBody caps the POST /v1/sweeps request body; oversized grids
+	// are rejected with 413. Zero means the 8 MiB default.
+	MaxBody int64
 	// RetainJobs caps how many finished jobs (and their in-memory event
 	// logs) the daemon keeps for late subscribers; beyond it the
 	// oldest-finished jobs are forgotten, exactly as if a client had
@@ -85,8 +112,9 @@ type Config struct {
 // Server serves Lab sweeps over HTTP. Create one with New, mount it as an
 // http.Handler, and call Shutdown to drain in-flight jobs before exit.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	tenants *tenant.Registry
 
 	jobsWG sync.WaitGroup
 
@@ -96,9 +124,26 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string
 	nextID   int
-	// running counts jobs not yet in a terminal state, for the MaxJobs
-	// admission bound.
+	// nextSeq is the admission sequence: each accepted sweep takes the
+	// next value, giving the scheduler its FIFO and queue-position key.
+	nextSeq int
+	// running counts dispatched, not-yet-terminal jobs — the occupancy
+	// of the MaxJobs slots the scheduler fills.
 	running int
+	// sched holds the per-tenant queues, weights, rate buckets and
+	// accounting; every access is under mu.
+	sched *sched
+	// totalDur/durCount average completed-job durations for the queued
+	// ETA estimate.
+	totalDur time.Duration
+	durCount int
+
+	// now is the admission clock, swappable in tests to make
+	// rate-limit behavior deterministic.
+	now func() time.Time
+	// dispatchHook, when set (tests), observes every dispatch in
+	// order: the scheduler-determinism probe.
+	dispatchHook func(jobID, tenantID string)
 }
 
 // maxScale bounds the client-supplied workload divisor. The paper runs at
@@ -106,14 +151,26 @@ type Server struct {
 // would only serve to make the daemon instantiate unbounded Labs.
 const maxScale = 256
 
+// defaultMaxBody bounds POST /v1/sweeps bodies when Config.MaxBody is
+// zero: generous for any real grid (a point spec is ~100 bytes), small
+// enough that an oversized request is a 413, not an allocation.
+const defaultMaxBody = 8 << 20
+
 // New returns a server with no Labs instantiated yet; each scale's Lab is
 // created on first use and lives for the server's lifetime.
 func New(cfg Config) *Server {
+	reg := cfg.Tenants
+	if reg == nil {
+		reg = tenant.Open(tenant.Limits{})
+	}
 	s := &Server{
-		cfg:  cfg,
-		mux:  http.NewServeMux(),
-		labs: map[int]*hotnoc.Lab{},
-		jobs: map[string]*job{},
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		tenants: reg,
+		labs:    map[int]*hotnoc.Lab{},
+		jobs:    map[string]*job{},
+		sched:   newSched(),
+		now:     time.Now,
 	}
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleCreateSweep)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
@@ -128,8 +185,33 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// tenantKey carries the authenticated tenant through the request
+// context.
+type tenantKey struct{}
+
+// ServeHTTP authenticates every /v1 request against the tenant
+// registry before routing; /healthz stays open for liveness probes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		tn, err := s.tenants.Authenticate(r.Header.Get("Authorization"))
+		if err != nil {
+			status := http.StatusUnauthorized
+			if errors.Is(err, tenant.ErrDisabled) {
+				status = http.StatusForbidden
+			}
+			w.Header().Set("WWW-Authenticate", `Bearer realm="hotnocd"`)
+			writeError(w, status, "%v", err)
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), tenantKey{}, tn))
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// requestTenant returns the tenant ServeHTTP authenticated.
+func requestTenant(r *http.Request) *tenant.Tenant {
+	tn, _ := r.Context().Value(tenantKey{}).(*tenant.Tenant)
+	return tn
 }
 
 // Shutdown drains the server: new sweeps are rejected with 503 while
@@ -153,7 +235,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.jobs {
-			j.cancel()
+			// Jobs still waiting in a tenant queue terminate directly
+			// (nothing is running on their behalf); dispatched jobs
+			// unwind through their sweep context.
+			if !s.terminateQueuedLocked(j) {
+				j.cancel()
+			}
 		}
 		s.mu.Unlock()
 		<-done
@@ -179,8 +266,19 @@ func (s *Server) labFor(scale int) *hotnoc.Lab {
 }
 
 func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
+	maxBody := s.cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	var req wire.SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"sweep request exceeds the %d-byte body limit", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
 		return
 	}
@@ -213,6 +311,7 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	cur := requestTenant(r)
 	lab := s.labFor(scale)
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
@@ -222,46 +321,121 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	if s.cfg.MaxJobs > 0 && s.running >= s.cfg.MaxJobs {
+	ts := s.sched.state(cur)
+	// Per-tenant admission: the submit-rate bucket and the queued-job
+	// bound reject with 429 + Retry-After; hitting the running-job
+	// quota or the global MaxJobs slots is not a rejection — the job
+	// queues and the weighted-fair scheduler dispatches it later.
+	if ok, retry := ts.takeToken(s.now()); !ok {
+		ts.rejected++
 		s.mu.Unlock()
 		cancel()
-		// The daemon is saturated, not broken: tell well-behaved clients
-		// when to come back instead of letting them pile work onto the
-		// worker pools.
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q is over its %.3g jobs/sec submit rate", ts.id, ts.limits.RatePerSec)
+		return
+	}
+	if ts.limits.MaxQueued > 0 && len(ts.queue) >= ts.limits.MaxQueued {
+		ts.rejected++
+		s.mu.Unlock()
+		cancel()
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests,
-			"server is running its maximum of %d concurrent jobs", s.cfg.MaxJobs)
+			"tenant %q already has its maximum of %d jobs queued", ts.id, ts.limits.MaxQueued)
 		return
 	}
 	s.pruneLocked(time.Now())
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
-	j := newJob(id, scale, len(pts), cancel)
+	s.nextSeq++
+	j := newJob(ctx, id, cur.ID, scale, len(pts), s.nextSeq, cancel)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.running++
 	// Registering with the WaitGroup under the same lock that Shutdown
-	// takes to set draining guarantees Shutdown's Wait sees this job.
+	// takes to set draining guarantees Shutdown's Wait sees this job —
+	// queued jobs included.
 	s.jobsWG.Add(1)
+	s.sched.enqueue(ts, &queuedJob{j: j, lab: lab, pts: pts})
+	s.dispatchLocked()
+	created := wire.SweepCreated{ID: id, Points: len(pts), Tenant: cur.ID}
+	created.State = j.stateNow()
+	if created.State == wire.JobQueued {
+		created.QueuePos = s.sched.queuedBefore(j.seq) + 1
+	}
 	s.mu.Unlock()
-
-	go s.runJob(ctx, j, lab, pts)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, wire.SweepCreated{ID: id, Points: len(pts)})
+	writeJSON(w, created)
 }
 
-// runJob drives one sweep to completion, appending every progress event
-// and outcome to the job's log. It owns the job's terminal state, and on
-// reaching it releases the job's admission slot and applies the
-// retention policy.
-func (s *Server) runJob(ctx context.Context, j *job, lab *hotnoc.Lab, pts []hotnoc.SweepPoint) {
+// dispatchLocked fills free MaxJobs slots from the tenant queues in
+// weighted-fair order, starting each popped job's sweep goroutine.
+// Callers hold s.mu.
+func (s *Server) dispatchLocked() {
+	slots := -1
+	if s.cfg.MaxJobs > 0 {
+		slots = s.cfg.MaxJobs - s.running
+		if slots <= 0 {
+			return
+		}
+	}
+	for _, d := range s.sched.dispatch(slots) {
+		s.running++
+		d.qj.j.start()
+		if s.dispatchHook != nil {
+			s.dispatchHook(d.qj.j.id, d.ts.id)
+		}
+		go s.runJob(d.ts, d.qj)
+	}
+}
+
+// terminateQueuedLocked completes a still-queued job as canceled
+// without dispatching it: it leaves its tenant's queue, its admission
+// is released, and its event stream terminates. Reports false when the
+// job is not queued (already dispatched or terminal). Callers hold
+// s.mu.
+func (s *Server) terminateQueuedLocked(j *job) bool {
+	ts, ok := s.sched.tenants[j.tenant]
+	if !ok {
+		return false
+	}
+	if _, ok := s.sched.removeQueued(ts, j.id); !ok {
+		return false
+	}
+	j.cancel()
+	j.fail(wire.JobCanceled, errors.New("canceled while queued"))
+	ts.canceled++
+	s.jobsWG.Done()
+	return true
+}
+
+// runJob drives one dispatched sweep to completion, appending every
+// progress event and outcome to the job's log and crediting evaluated
+// points to the job's tenant. It owns the job's terminal state, and on
+// reaching it releases the job's slot, records per-tenant accounting,
+// applies the retention policy and dispatches whatever the freed slot
+// admits next.
+func (s *Server) runJob(ts *tenantState, qj *queuedJob) {
+	j := qj.j
+	started := time.Now()
 	defer s.jobsWG.Done()
 	defer func() {
 		s.mu.Lock()
 		s.running--
+		ts.running--
+		switch j.stateNow() {
+		case wire.JobDone:
+			ts.done++
+			s.totalDur += time.Since(started)
+			s.durCount++
+		case wire.JobFailed:
+			ts.failed++
+		case wire.JobCanceled:
+			ts.canceled++
+		}
 		s.pruneLocked(time.Now())
+		s.dispatchLocked()
 		s.mu.Unlock()
 	}()
 	defer j.cancel()
@@ -269,7 +443,7 @@ func (s *Server) runJob(ctx context.Context, j *job, lab *hotnoc.Lab, pts []hotn
 	progress := func(ev hotnoc.Event) {
 		j.append(wire.EventProgress, wire.FromEvent(ev))
 	}
-	for out, err := range lab.SweepWithProgress(ctx, pts, progress) {
+	for out, err := range qj.lab.SweepWithProgress(j.ctx, qj.pts, progress) {
 		if err != nil {
 			state := wire.JobFailed
 			if errors.Is(err, context.Canceled) {
@@ -280,13 +454,16 @@ func (s *Server) runJob(ctx context.Context, j *job, lab *hotnoc.Lab, pts []hotn
 		}
 		j.append(wire.EventOutcome, wire.FromOutcome(idx, out))
 		idx++
+		s.mu.Lock()
+		ts.points++
+		s.mu.Unlock()
 	}
 	j.finish()
 }
 
-// retryAfterSeconds is the Retry-After hint on 429 responses. Sweep jobs
-// run for seconds to minutes, so a short constant backoff is honest
-// without being aggressive.
+// retryAfterSeconds is the Retry-After hint on queued-job-bound 429
+// responses. Sweep jobs run for seconds to minutes, so a short constant
+// backoff is honest without being aggressive.
 const retryAfterSeconds = 5
 
 // pruneLocked applies the retention policy to finished jobs: first the
@@ -342,14 +519,54 @@ func (s *Server) pruneLocked(now time.Time) {
 	s.order = slices.DeleteFunc(s.order, func(id string) bool { return drop[id] })
 }
 
-func (s *Server) jobByID(id string) *job {
+// jobByID returns the job with the given id if it belongs to tn. Other
+// tenants' jobs are invisible — a 404 indistinguishable from absence,
+// so job ids do not leak activity across tenants.
+func (s *Server) jobByID(id string, tn *tenant.Tenant) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.jobs[id]
+	j := s.jobs[id]
+	if j == nil || (tn != nil && j.tenant != tn.ID) {
+		return nil
+	}
+	return j
+}
+
+// jobInfo returns j's wire description, extending queued jobs with
+// their submission-order queue position and, once the daemon has
+// completed enough jobs to know its pace, a rough ETA. Callers must not
+// hold s.mu.
+func (s *Server) jobInfo(j *job) wire.JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobInfoLocked(j)
+}
+
+func (s *Server) jobInfoLocked(j *job) wire.JobInfo {
+	info := j.snapshot()
+	if info.State != wire.JobQueued {
+		return info
+	}
+	info.QueuePos = s.sched.queuedBefore(j.seq) + 1
+	if s.durCount > 0 {
+		mean := (s.totalDur / time.Duration(s.durCount)).Seconds()
+		slots := s.cfg.MaxJobs
+		if slots <= 0 {
+			// No global bound: the tenant's own running quota is the only
+			// thing a queued job can be waiting on.
+			if ts, ok := s.sched.tenants[j.tenant]; ok && ts.limits.MaxRunning > 0 {
+				slots = ts.limits.MaxRunning
+			} else {
+				slots = 1
+			}
+		}
+		info.EtaSec = float64(info.QueuePos) * mean / float64(slots)
+	}
+	return info
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.jobByID(r.PathValue("id"))
+	j := s.jobByID(r.PathValue("id"), requestTenant(r))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
@@ -389,51 +606,58 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobs lists the requesting tenant's jobs — each tenant sees only
+// its own.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	tn := requestTenant(r)
 	s.mu.Lock()
 	s.pruneLocked(time.Now())
-	jobs := make([]*job, 0, len(s.order))
+	list := wire.JobList{Jobs: []wire.JobInfo{}}
 	for _, id := range s.order {
-		if j, ok := s.jobs[id]; ok {
-			jobs = append(jobs, j)
+		j, ok := s.jobs[id]
+		if !ok || (tn != nil && j.tenant != tn.ID) {
+			continue
 		}
+		list.Jobs = append(list.Jobs, s.jobInfoLocked(j))
 	}
 	s.mu.Unlock()
-	list := wire.JobList{Jobs: make([]wire.JobInfo, len(jobs))}
-	for i, j := range jobs {
-		list.Jobs[i] = j.snapshot()
-	}
 	writeJSON(w, list)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j := s.jobByID(r.PathValue("id"))
+	j := s.jobByID(r.PathValue("id"), requestTenant(r))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, j.snapshot())
+	writeJSON(w, s.jobInfo(j))
 }
 
-// handleCancelJob cancels a running job's context; the sweep unwinds and
-// the job reaches the canceled state asynchronously (its event stream
-// terminates with an error event). Deleting a finished job forgets it.
+// handleCancelJob cancels a job. A still-queued job terminates
+// immediately (it leaves its tenant's queue and never runs); a running
+// job's context is canceled and the sweep unwinds to the canceled state
+// asynchronously (its event stream terminates with an error event).
+// Deleting a finished job forgets it.
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j := s.jobByID(id)
+	j := s.jobByID(id, requestTenant(r))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
-	if j.finished() {
-		s.mu.Lock()
+	s.mu.Lock()
+	switch {
+	case s.terminateQueuedLocked(j):
+		// Canceled before dispatch; nothing was running on its behalf.
+	case j.terminal():
 		delete(s.jobs, id)
 		s.order = slices.DeleteFunc(s.order, func(o string) bool { return o == id })
-		s.mu.Unlock()
-	} else {
+	default:
 		j.cancel()
 	}
-	writeJSON(w, j.snapshot())
+	info := s.jobInfoLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, info)
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -471,16 +695,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, scale := range scales {
 		labs = append(labs, s.labs[scale].Stats())
 	}
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
-	}
-	s.mu.Unlock()
-
 	var counts wire.JobCounts
-	for _, j := range jobs {
+	for _, j := range s.jobs {
 		counts.Total++
-		switch j.snapshot().State {
+		switch j.stateNow() {
+		case wire.JobQueued:
+			counts.Queued++
 		case wire.JobRunning:
 			counts.Running++
 		case wire.JobDone:
@@ -491,10 +711,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			counts.Canceled++
 		}
 	}
-	writeJSON(w, wire.Stats{Jobs: counts, Labs: labs, Limits: wire.Limits{
+	tenants := make([]wire.TenantStats, 0, len(s.sched.tenants))
+	for _, ts := range s.sched.tenants {
+		tenants = append(tenants, wire.TenantStats{
+			ID:       ts.id,
+			Weight:   ts.weight,
+			Running:  ts.running,
+			Queued:   len(ts.queue),
+			Done:     ts.done,
+			Failed:   ts.failed,
+			Canceled: ts.canceled,
+			Rejected: ts.rejected,
+			Points:   ts.points,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(tenants, func(i, k int) bool { return tenants[i].ID < tenants[k].ID })
+
+	writeJSON(w, wire.Stats{Jobs: counts, Labs: labs, Tenants: tenants, Limits: wire.Limits{
 		MaxJobs:      s.cfg.MaxJobs,
 		RetainJobs:   s.cfg.RetainJobs,
 		RetainForSec: s.cfg.RetainFor.Seconds(),
+		AuthRequired: s.tenants.AuthRequired(),
 	}})
 }
 

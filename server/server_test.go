@@ -578,17 +578,18 @@ func TestSweepValidationNamesReactivePoint(t *testing.T) {
 	}
 }
 
-// TestMaxJobsRejectsWith429: at the concurrent-job bound, POST /v1/sweeps
-// is a 429 with a Retry-After header, and capacity frees once a running
-// job terminates.
-func TestMaxJobsRejectsWith429(t *testing.T) {
+// TestMaxJobsQueuesAtSaturation: at the concurrent-job bound, POST
+// /v1/sweeps admits the job in the queued state — reporting its queue
+// position — instead of rejecting it, and the scheduler dispatches it
+// once the running job frees the slot.
+func TestMaxJobsQueuesAtSaturation(t *testing.T) {
 	_, url := testServer(t, Config{MaxJobs: 1})
 	c := client.New(url, client.WithScale(testScale))
 	ctx := context.Background()
 
 	// A wide grid keeps the only slot busy while we probe the bound.
 	wide := hotnoc.SweepGrid([]string{"A", "B", "C", "D", "E"}, hotnoc.Schemes(), []int{1, 2, 4, 8})
-	id, err := c.StartSweep(ctx, wide)
+	blocker, err := c.StartSweep(ctx, wide)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -604,14 +605,26 @@ func TestMaxJobsRejectsWith429(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated daemon answered %d, want 429", resp.StatusCode)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("saturated daemon answered %d, want 201 (the job queues)", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 carries no Retry-After header")
+	var created wire.SweepCreated
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if created.State != wire.JobQueued || created.QueuePos != 1 {
+		t.Fatalf("saturated submission admitted as %q at position %d, want queued at 1",
+			created.State, created.QueuePos)
 	}
 
-	// The limit is echoed on /v1/stats for diagnosis.
+	// The job info surfaces the same queue position; stats count it.
+	info, err := c.Job(ctx, created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != wire.JobQueued || info.QueuePos != 1 {
+		t.Fatalf("queued job reports %q at position %d, want queued at 1", info.State, info.QueuePos)
+	}
 	st, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -619,22 +632,15 @@ func TestMaxJobsRejectsWith429(t *testing.T) {
 	if st.Limits.MaxJobs != 1 {
 		t.Fatalf("stats echo max_jobs %d, want 1", st.Limits.MaxJobs)
 	}
+	if st.Jobs.Queued != 1 || st.Jobs.Running != 1 {
+		t.Fatalf("stats count %d queued / %d running, want 1 / 1", st.Jobs.Queued, st.Jobs.Running)
+	}
 
-	// Freeing the slot re-admits work.
-	if _, err := c.CancelJob(ctx, id); err != nil {
+	// Freeing the slot dispatches the queued job without a resubmission.
+	if _, err := c.CancelJob(ctx, blocker); err != nil {
 		t.Fatal(err)
 	}
-	waitForTerminal(t, c, id)
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if _, err := c.StartSweep(ctx, wide[:1]); err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("daemon never re-admitted work after its job terminated")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitForState(t, c, created.ID, wire.JobDone)
 }
 
 // TestRetentionCapsFinishedJobs: RetainJobs bounds how many finished jobs
@@ -713,7 +719,7 @@ func waitForState(t *testing.T, c *client.Client, id, state string) wire.JobInfo
 	}
 }
 
-// waitForTerminal polls until the job leaves the running state.
+// waitForTerminal polls until the job reaches a terminal state.
 func waitForTerminal(t *testing.T, c *client.Client, id string) wire.JobInfo {
 	t.Helper()
 	deadline := time.Now().Add(time.Minute)
@@ -722,11 +728,11 @@ func waitForTerminal(t *testing.T, c *client.Client, id string) wire.JobInfo {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if info.State != wire.JobRunning {
+		if info.State != wire.JobRunning && info.State != wire.JobQueued {
 			return info
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("job %s never left the running state", id)
+			t.Fatalf("job %s never left the %s state", id, info.State)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

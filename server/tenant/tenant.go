@@ -1,0 +1,295 @@
+// Package tenant is hotnocd's identity layer: who is calling the
+// daemon, and what are they allowed to do.
+//
+// A Registry maps presented API keys to tenants. Keys live hashed
+// (SHA-256) both in the registry and in the tenants file it loads from,
+// so a leaked tenants file does not leak credentials, and lookups
+// compare hashes in constant time so a network attacker cannot binary-
+// search a key byte by byte. Each tenant carries a scheduling weight
+// (its share of the daemon's job slots under weighted fair queueing)
+// and admission Limits (running-job quota, queued-job bound, submit
+// rate); the zero value of every limit means "unbounded", so a tenants
+// file that only names ids and keys grants authenticated-but-unmetered
+// access.
+//
+// Two registry modes keep existing deployments working:
+//
+//   - Open (no tenants file): every request — with or without a key —
+//     maps to the anonymous tenant. This is the pre-tenancy daemon's
+//     trust model, preserved byte for byte.
+//   - Loaded with AllowAnonymous: requests with no credentials map to
+//     the anonymous tenant, requests with a wrong key are still
+//     rejected. This is the migration path: keyed tenants get their
+//     weights and quotas while legacy unauthenticated clients keep
+//     working behind the flag.
+//
+// The tenants file is JSON:
+//
+//	{
+//	  "tenants": [
+//	    {
+//	      "id": "alice",
+//	      "key_sha256": "9f86d08…(64 hex chars)",
+//	      "weight": 2,
+//	      "max_running": 4,
+//	      "max_queued": 16,
+//	      "rate_per_sec": 5,
+//	      "burst": 10,
+//	      "disabled": false
+//	    }
+//	  ]
+//	}
+//
+// Omitted limit fields take the registry's defaults (hotnocd's
+// -default-* flags); an explicit 0 means unbounded. "key" may be given
+// in place of "key_sha256" for development — it is hashed on load and
+// never retained — but production files should only ever hold hashes.
+package tenant
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AnonymousID is the tenant id attributed to unauthenticated requests
+// when the registry allows them. It is reserved: a tenants file may not
+// define a tenant with this id.
+const AnonymousID = "anonymous"
+
+// Authentication failures, mapped by the server to 401 (missing or
+// wrong credentials) and 403 (a known tenant that has been turned off).
+var (
+	ErrNoCredentials = errors.New("missing API key (Authorization: Bearer <key>)")
+	ErrUnknownKey    = errors.New("unknown API key")
+	ErrDisabled      = errors.New("tenant is disabled")
+)
+
+// Limits bounds one tenant's admission. Zero values mean unbounded.
+type Limits struct {
+	// MaxRunning caps the tenant's concurrently running jobs. At the
+	// cap, new submissions queue (they are not rejected) until
+	// MaxQueued binds.
+	MaxRunning int
+	// MaxQueued caps the tenant's queued (admitted but not yet
+	// dispatched) jobs. At the cap, submissions are rejected with 429.
+	MaxQueued int
+	// RatePerSec is the tenant's sustained submit rate, enforced by a
+	// token bucket of Burst capacity. Over-rate submissions are
+	// rejected with 429 and a Retry-After telling the client when the
+	// next token accrues.
+	RatePerSec float64
+	// Burst is the token-bucket depth for RatePerSec; values below 1
+	// act as 1.
+	Burst int
+}
+
+// Tenant is one identity the daemon serves.
+type Tenant struct {
+	// ID names the tenant in job info, stats and logs.
+	ID string
+	// Weight is the tenant's share under weighted fair queueing: with
+	// every queue saturated, a weight-2 tenant is dispatched twice as
+	// often as a weight-1 tenant. Minimum (and default) is 1.
+	Weight int
+	// Limits bounds the tenant's admission.
+	Limits Limits
+	// Disabled rejects the tenant's requests with 403 without removing
+	// its entry — the off switch for key rotation or abuse.
+	Disabled bool
+
+	keyHash []byte // SHA-256 of the API key; nil only for anonymous
+}
+
+// NewTenant returns a tenant authenticating with key. The key is hashed
+// immediately and not retained. Weight values below 1 act as 1.
+func NewTenant(id, key string, weight int, limits Limits) *Tenant {
+	sum := sha256.Sum256([]byte(key))
+	return &Tenant{ID: id, Weight: weight, Limits: limits, keyHash: sum[:]}
+}
+
+// HashKey returns the hex SHA-256 of key — the value a tenants file's
+// key_sha256 field holds. Generate keys with any high-entropy source
+// (e.g. `openssl rand -hex 32`) and store only this hash.
+func HashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Registry resolves API keys to tenants.
+type Registry struct {
+	list []*Tenant
+	anon *Tenant // non-nil when unauthenticated requests are admitted
+	open bool    // no keys configured at all: every request is anonymous
+}
+
+// Open returns the registry of a daemon running without a tenants file:
+// every request, keyed or not, is the anonymous tenant with the given
+// limits — the pre-tenancy trust model.
+func Open(limits Limits) *Registry {
+	return &Registry{anon: &Tenant{ID: AnonymousID, Weight: 1, Limits: limits}, open: true}
+}
+
+// New builds a registry from explicit tenants. A non-nil anon admits
+// unauthenticated requests as that tenant. Tenant ids must be non-empty
+// and unique, the anonymous id is reserved for anon, and every tenant
+// must carry a key.
+func New(tenants []*Tenant, anon *Tenant) (*Registry, error) {
+	seen := map[string]bool{}
+	for _, t := range tenants {
+		switch {
+		case t.ID == "":
+			return nil, fmt.Errorf("tenant with an empty id")
+		case t.ID == AnonymousID:
+			return nil, fmt.Errorf("tenant id %q is reserved", AnonymousID)
+		case seen[t.ID]:
+			return nil, fmt.Errorf("duplicate tenant id %q", t.ID)
+		case len(t.keyHash) == 0:
+			return nil, fmt.Errorf("tenant %q has no API key", t.ID)
+		}
+		if t.Weight < 1 {
+			t.Weight = 1
+		}
+		seen[t.ID] = true
+	}
+	return &Registry{list: tenants, anon: anon}, nil
+}
+
+// fileTenant is one tenants-file entry. Limit fields are pointers so an
+// omitted field (take the default) is distinguishable from an explicit
+// zero (unbounded).
+type fileTenant struct {
+	ID        string   `json:"id"`
+	Key       string   `json:"key,omitempty"`
+	KeySHA256 string   `json:"key_sha256,omitempty"`
+	Weight    *int     `json:"weight,omitempty"`
+	MaxRun    *int     `json:"max_running,omitempty"`
+	MaxQueued *int     `json:"max_queued,omitempty"`
+	Rate      *float64 `json:"rate_per_sec,omitempty"`
+	Burst     *int     `json:"burst,omitempty"`
+	Disabled  bool     `json:"disabled,omitempty"`
+}
+
+type tenantsFile struct {
+	Tenants []fileTenant `json:"tenants"`
+}
+
+// Load reads a tenants file. Entries that omit a limit or the weight
+// take the given defaults (weight 1); allowAnonymous additionally
+// admits unauthenticated requests as the anonymous tenant under the
+// same default limits.
+func Load(path string, defaults Limits, allowAnonymous bool) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants file: %w", err)
+	}
+	var f tenantsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tenants file %s: %w", path, err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, fmt.Errorf("tenants file %s defines no tenants", path)
+	}
+	list := make([]*Tenant, len(f.Tenants))
+	for i, ft := range f.Tenants {
+		t := &Tenant{ID: ft.ID, Weight: 1, Limits: defaults, Disabled: ft.Disabled}
+		switch {
+		case ft.KeySHA256 != "" && ft.Key != "":
+			return nil, fmt.Errorf("tenant %q: give key_sha256 or key, not both", ft.ID)
+		case ft.KeySHA256 != "":
+			h, err := hex.DecodeString(strings.ToLower(ft.KeySHA256))
+			if err != nil || len(h) != sha256.Size {
+				return nil, fmt.Errorf("tenant %q: key_sha256 is not a hex SHA-256", ft.ID)
+			}
+			t.keyHash = h
+		case ft.Key != "":
+			sum := sha256.Sum256([]byte(ft.Key))
+			t.keyHash = sum[:]
+		}
+		if ft.Weight != nil {
+			t.Weight = *ft.Weight
+			if t.Weight < 1 {
+				return nil, fmt.Errorf("tenant %q: weight %d (want >= 1)", ft.ID, t.Weight)
+			}
+		}
+		if ft.MaxRun != nil {
+			t.Limits.MaxRunning = *ft.MaxRun
+		}
+		if ft.MaxQueued != nil {
+			t.Limits.MaxQueued = *ft.MaxQueued
+		}
+		if ft.Rate != nil {
+			t.Limits.RatePerSec = *ft.Rate
+		}
+		if ft.Burst != nil {
+			t.Limits.Burst = *ft.Burst
+		}
+		list[i] = t
+	}
+	var anon *Tenant
+	if allowAnonymous {
+		anon = &Tenant{ID: AnonymousID, Weight: 1, Limits: defaults}
+	}
+	return New(list, anon)
+}
+
+// Authenticate resolves an Authorization header value to a tenant. An
+// empty or non-Bearer header is only admitted when the registry allows
+// anonymous requests; a presented key must match a known tenant unless
+// the registry is Open. Key comparison is constant-time per tenant, so
+// response timing does not leak key bytes.
+func (r *Registry) Authenticate(authorization string) (*Tenant, error) {
+	key, ok := bearerKey(authorization)
+	if !ok {
+		if r.anon != nil {
+			return r.anon, nil
+		}
+		return nil, ErrNoCredentials
+	}
+	sum := sha256.Sum256([]byte(key))
+	for _, t := range r.list {
+		if subtle.ConstantTimeCompare(sum[:], t.keyHash) == 1 {
+			if t.Disabled {
+				return nil, ErrDisabled
+			}
+			return t, nil
+		}
+	}
+	if r.open {
+		// No keys are configured at all; a stray Authorization header
+		// (a client whose HOTNOC_API_KEY is set globally) is not a
+		// reason to turn away a caller the open daemon would serve.
+		return r.anon, nil
+	}
+	return nil, ErrUnknownKey
+}
+
+// Anonymous returns the tenant unauthenticated requests map to, or nil
+// when the registry requires credentials.
+func (r *Registry) Anonymous() *Tenant { return r.anon }
+
+// AuthRequired reports whether the registry turns away unauthenticated
+// requests — surfaced on /v1/stats so clients can tell how a daemon is
+// deployed.
+func (r *Registry) AuthRequired() bool { return r.anon == nil }
+
+// Len reports how many keyed tenants the registry holds.
+func (r *Registry) Len() int { return len(r.list) }
+
+// bearerKey extracts the key from "Bearer <key>" (scheme
+// case-insensitive, per RFC 6750). A missing or differently-schemed
+// header reports ok=false.
+func bearerKey(authorization string) (key string, ok bool) {
+	const scheme = "bearer "
+	if len(authorization) <= len(scheme) ||
+		!strings.EqualFold(authorization[:len(scheme)], scheme) {
+		return "", false
+	}
+	key = strings.TrimSpace(authorization[len(scheme):])
+	return key, key != ""
+}

@@ -1,0 +1,163 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadAndAuthenticate(t *testing.T) {
+	path := writeFile(t, `{"tenants": [
+		{"id": "alice", "key_sha256": "`+HashKey("alice-key")+`", "weight": 2,
+		 "max_running": 4, "max_queued": 16, "rate_per_sec": 5, "burst": 10},
+		{"id": "bob", "key": "bob-key"},
+		{"id": "mallory", "key": "mallory-key", "disabled": true}
+	]}`)
+	reg, err := Load(path, Limits{MaxQueued: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 3 {
+		t.Fatalf("loaded %d tenants, want 3", reg.Len())
+	}
+
+	alice, err := reg.Authenticate("Bearer alice-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alice.ID != "alice" || alice.Weight != 2 {
+		t.Fatalf("alice resolved to %q weight %d", alice.ID, alice.Weight)
+	}
+	want := Limits{MaxRunning: 4, MaxQueued: 16, RatePerSec: 5, Burst: 10}
+	if alice.Limits != want {
+		t.Fatalf("alice limits %+v, want %+v", alice.Limits, want)
+	}
+
+	// bob's entry omits every limit and the weight: the defaults apply.
+	bob, err := reg.Authenticate("bearer bob-key") // scheme is case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bob.Weight != 1 || bob.Limits.MaxQueued != 8 || bob.Limits.MaxRunning != 0 {
+		t.Fatalf("bob did not take the defaults: weight %d limits %+v", bob.Weight, bob.Limits)
+	}
+
+	if _, err := reg.Authenticate("Bearer mallory-key"); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("disabled tenant authenticated (err %v)", err)
+	}
+	if _, err := reg.Authenticate("Bearer wrong"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("wrong key accepted (err %v)", err)
+	}
+	if _, err := reg.Authenticate(""); !errors.Is(err, ErrNoCredentials) {
+		t.Fatalf("missing credentials accepted (err %v)", err)
+	}
+	if _, err := reg.Authenticate("Basic abc"); !errors.Is(err, ErrNoCredentials) {
+		t.Fatalf("non-Bearer scheme accepted (err %v)", err)
+	}
+	if reg.Anonymous() != nil {
+		t.Fatal("registry without allowAnonymous still admits anonymous requests")
+	}
+}
+
+func TestLoadAllowAnonymous(t *testing.T) {
+	path := writeFile(t, `{"tenants": [{"id": "a", "key": "k"}]}`)
+	reg, err := Load(path, Limits{MaxRunning: 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := reg.Authenticate("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.ID != AnonymousID || anon.Limits.MaxRunning != 2 {
+		t.Fatalf("anonymous tenant %q limits %+v", anon.ID, anon.Limits)
+	}
+	// Anonymous mode admits missing credentials, not wrong ones.
+	if _, err := reg.Authenticate("Bearer wrong"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("wrong key accepted in anonymous mode (err %v)", err)
+	}
+}
+
+func TestOpenRegistry(t *testing.T) {
+	reg := Open(Limits{})
+	for _, header := range []string{"", "Bearer anything"} {
+		tn, err := reg.Authenticate(header)
+		if err != nil {
+			t.Fatalf("open registry rejected %q: %v", header, err)
+		}
+		if tn.ID != AnonymousID {
+			t.Fatalf("open registry resolved %q to %q", header, tn.ID)
+		}
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	for name, content := range map[string]string{
+		"empty":         `{"tenants": []}`,
+		"dup id":        `{"tenants": [{"id":"a","key":"x"},{"id":"a","key":"y"}]}`,
+		"no id":         `{"tenants": [{"key":"x"}]}`,
+		"no key":        `{"tenants": [{"id":"a"}]}`,
+		"reserved id":   `{"tenants": [{"id":"anonymous","key":"x"}]}`,
+		"both keys":     `{"tenants": [{"id":"a","key":"x","key_sha256":"` + HashKey("x") + `"}]}`,
+		"bad hash":      `{"tenants": [{"id":"a","key_sha256":"zz"}]}`,
+		"short hash":    `{"tenants": [{"id":"a","key_sha256":"abcd"}]}`,
+		"zero weight":   `{"tenants": [{"id":"a","key":"x","weight":0}]}`,
+		"not even json": `oops`,
+	} {
+		path := writeFile(t, content)
+		if _, err := Load(path, Limits{}, false); err == nil {
+			t.Errorf("%s: bad tenants file accepted", name)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json"), Limits{}, false); err == nil {
+		t.Error("missing tenants file accepted")
+	}
+}
+
+func TestHashKeyMatchesFileFormat(t *testing.T) {
+	// The documented generation path: store HashKey(key) in key_sha256
+	// and the plaintext key authenticates.
+	h := HashKey("s3cret")
+	if len(h) != 64 || strings.ToLower(h) != h {
+		t.Fatalf("HashKey emitted %q, want 64 lowercase hex chars", h)
+	}
+	path := writeFile(t, `{"tenants": [{"id":"a","key_sha256":"`+h+`"}]}`)
+	reg, err := Load(path, Limits{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Authenticate("Bearer s3cret"); err != nil {
+		t.Fatalf("hashed key did not authenticate: %v", err)
+	}
+}
+
+func TestNewTenantValidation(t *testing.T) {
+	if _, err := New([]*Tenant{NewTenant("", "k", 1, Limits{})}, nil); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := New([]*Tenant{{ID: "a"}}, nil); err == nil {
+		t.Error("tenant without key accepted")
+	}
+	reg, err := New([]*Tenant{NewTenant("a", "k", 0, Limits{})}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := reg.Authenticate("Bearer k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Weight != 1 {
+		t.Fatalf("weight 0 not clamped to 1 (got %d)", tn.Weight)
+	}
+}

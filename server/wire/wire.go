@@ -36,15 +36,30 @@ const (
 	// EventDone carries an empty object and terminates the stream; every
 	// outcome was delivered.
 	EventDone = "done"
+	// EventState carries a StateMsg: a job lifecycle transition
+	// (admitted to the queue, dispatched to run) attributed to the
+	// job's tenant. Clients that only care about outcomes may ignore
+	// these events.
+	EventState = "state"
 )
 
-// Job states reported by JobInfo.
+// Job states reported by JobInfo. A job is admitted in the queued
+// state and dispatched to running by the weighted-fair scheduler as
+// job slots free up.
 const (
+	JobQueued   = "queued"
 	JobRunning  = "running"
 	JobDone     = "done"
 	JobFailed   = "failed"
 	JobCanceled = "canceled"
 )
+
+// StateMsg is one job lifecycle transition, streamed as an EventState.
+type StateMsg struct {
+	State string `json:"state"`
+	// Tenant is the tenant the job is charged to.
+	Tenant string `json:"tenant,omitempty"`
+}
 
 // SweepRequest is the body of POST /v1/sweeps.
 type SweepRequest struct {
@@ -62,6 +77,15 @@ type SweepCreated struct {
 	ID string `json:"id"`
 	// Points echoes the grid size.
 	Points int `json:"points"`
+	// Tenant is the tenant the job was charged to.
+	Tenant string `json:"tenant,omitempty"`
+	// State is the job's admission state: "running" when a slot was
+	// free, "queued" when it waits for the weighted-fair scheduler.
+	State string `json:"state,omitempty"`
+	// QueuePos is the job's submission-order position among queued
+	// jobs (1 = next in line), when queued. The scheduler may reorder
+	// across tenants, so this is an estimate.
+	QueuePos int `json:"queue_pos,omitempty"`
 }
 
 // Point kinds on the wire; an absent kind means periodic, so grids from
@@ -264,14 +288,28 @@ func (m EventMsg) Event() sim.Event {
 type JobInfo struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
-	Scale int    `json:"scale"`
+	// Tenant is the tenant the job is charged to.
+	Tenant string `json:"tenant,omitempty"`
+	Scale  int    `json:"scale"`
 	// Points is the grid size; Done counts outcomes delivered so far.
 	Points    int       `json:"points"`
 	Done      int       `json:"done"`
 	CreatedAt time.Time `json:"created_at"`
+	// StartedAt is when the scheduler dispatched the job; zero
+	// (omitted) while it is still queued.
+	StartedAt time.Time `json:"started_at,omitzero"`
 	// FinishedAt is when the job reached a terminal state; zero (omitted)
 	// while running. Retention (see Config.RetainFor) measures from it.
 	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// QueuePos is the job's submission-order position among queued
+	// jobs (1 = next in line), present only while queued. The
+	// weighted-fair scheduler may reorder across tenants, so this is
+	// an estimate.
+	QueuePos int `json:"queue_pos,omitempty"`
+	// EtaSec is a rough seconds-until-dispatch estimate derived from
+	// the mean duration of completed jobs; omitted while the daemon
+	// has no history or the job is not queued.
+	EtaSec float64 `json:"eta_sec,omitempty"`
 	// Error holds the failure message for failed or canceled jobs.
 	Error string `json:"error,omitempty"`
 }
@@ -284,10 +322,30 @@ type JobList struct {
 // JobCounts aggregates jobs by state.
 type JobCounts struct {
 	Total    int `json:"total"`
+	Queued   int `json:"queued"`
 	Running  int `json:"running"`
 	Done     int `json:"done"`
 	Failed   int `json:"failed"`
 	Canceled int `json:"canceled"`
+}
+
+// TenantStats is one tenant's accounting on GET /v1/stats: live
+// queue/slot occupancy, terminal-state counts since daemon start,
+// admission rejections (429s) and cumulative evaluated points.
+type TenantStats struct {
+	ID       string `json:"id"`
+	Weight   int    `json:"weight"`
+	Running  int    `json:"running"`
+	Queued   int    `json:"queued"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Canceled int    `json:"canceled"`
+	// Rejected counts submissions refused with 429: over the tenant's
+	// submit rate or its queued-job bound.
+	Rejected int `json:"rejected"`
+	// Points is the cumulative number of grid points evaluated for
+	// this tenant.
+	Points int64 `json:"points"`
 }
 
 // Limits echoes the daemon's admission and retention configuration, so
@@ -295,8 +353,13 @@ type JobCounts struct {
 // job went. Zero fields mean "unbounded".
 type Limits struct {
 	// MaxJobs bounds concurrently running sweeps; at the bound, new
-	// submissions are rejected with 429 and a Retry-After header.
+	// submissions queue and the weighted-fair scheduler dispatches
+	// them as slots free up.
 	MaxJobs int `json:"max_jobs,omitempty"`
+	// AuthRequired reports that the daemon was started with a tenants
+	// file and unauthenticated requests are rejected (unless it also
+	// allows the anonymous tenant).
+	AuthRequired bool `json:"auth_required,omitempty"`
 	// RetainJobs caps how many finished jobs (and their event logs) the
 	// daemon keeps; the oldest-finished are forgotten first.
 	RetainJobs int `json:"retain_jobs,omitempty"`
@@ -307,11 +370,13 @@ type Limits struct {
 // Stats is the response of GET /v1/stats: job counts plus one LabStats
 // snapshot (decode counter, characterization cache hits/misses, worker
 // utilization) per Lab the daemon has instantiated, ordered by scale,
-// plus the daemon's admission/retention limits.
+// per-tenant accounting ordered by tenant id, plus the daemon's
+// admission/retention limits.
 type Stats struct {
-	Jobs   JobCounts         `json:"jobs"`
-	Labs   []hotnoc.LabStats `json:"labs"`
-	Limits Limits            `json:"limits,omitzero"`
+	Jobs    JobCounts         `json:"jobs"`
+	Labs    []hotnoc.LabStats `json:"labs"`
+	Tenants []TenantStats     `json:"tenants,omitempty"`
+	Limits  Limits            `json:"limits,omitzero"`
 }
 
 // ErrorMsg is the body of every non-2xx response and of EventError
