@@ -99,11 +99,21 @@ func WithAPIKey(key string) Option {
 // answers with a retryable rejection (429 over-rate/over-queue, 503
 // draining), sleeping the server's Retry-After hint — or an exponential
 // backoff from 100ms, capped at 30s, when the server gave none —
-// between attempts. Only submission is retried; it is idempotent from
-// the daemon's view because a rejected submission registers no job.
+// between attempts. Idempotent GETs (jobs, stats, builds, workers)
+// likewise retry transient transport failures — connection refused or
+// reset by a restarting daemon — with the same backoff. Requests with
+// side effects are never replayed on a transport error; submission
+// retries are safe only because a rejected submission registers no job.
 func WithRetry(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
+
+// ErrInterrupted marks a sweep event stream that ended before its
+// terminal done/error event — the daemon died, or the connection to it
+// was cut mid-stream. Callers dispatching work across a fleet match it
+// with errors.Is to distinguish a lost worker (re-dispatch elsewhere)
+// from a genuine evaluation failure (give up).
+var ErrInterrupted = errors.New("event stream ended without a terminal event")
 
 // RetryableError is a rejection the caller may retry later: the daemon
 // answered 429 (the tenant is over its submit rate or queued-job bound)
@@ -180,14 +190,8 @@ func (c *Client) StartSweep(ctx context.Context, pts []hotnoc.SweepPoint) (strin
 		if !errors.As(err, &re) {
 			break
 		}
-		delay := re.RetryAfter
-		if delay <= 0 {
-			delay = min(100*time.Millisecond<<attempt, 30*time.Second)
-		}
-		select {
-		case <-ctx.Done():
-			return "", ctx.Err()
-		case <-time.After(delay):
+		if berr := retryBackoff(ctx, attempt, re.RetryAfter); berr != nil {
+			return "", berr
 		}
 		err = c.postJSON(ctx, "/v1/sweeps", req, &created)
 	}
@@ -263,7 +267,7 @@ func (c *Client) streamJob(ctx context.Context, id string, pts []hotnoc.SweepPoi
 		line, err := rd.ReadString('\n')
 		if err != nil {
 			if err == io.EOF {
-				return false, fmt.Errorf("client: job %s: event stream ended without a terminal event", id)
+				return false, fmt.Errorf("client: job %s: %w", id, ErrInterrupted)
 			}
 			return false, fmt.Errorf("client: job %s: %w", id, err)
 		}
@@ -504,11 +508,45 @@ func (c *Client) CancelJob(ctx context.Context, id string) (wire.JobInfo, error)
 }
 
 // Stats returns the daemon's job counts and per-Lab counters: decodes,
-// characterization cache hits/misses, worker utilization.
+// characterization cache hits/misses, worker utilization. Against a
+// coordinator the counters aggregate the whole fleet.
 func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
 	var st wire.Stats
 	err := c.getJSON(ctx, "/v1/stats", &st)
 	return st, err
+}
+
+// Workers lists a coordinator's live fleet members. A plain daemon (not
+// started with -coordinator) has no fleet and answers 404.
+func (c *Client) Workers(ctx context.Context) ([]wire.WorkerInfo, error) {
+	var list wire.WorkerList
+	if err := c.getJSON(ctx, "/v1/workers", &list); err != nil {
+		return nil, err
+	}
+	return list.Workers, nil
+}
+
+// RegisterWorker announces a worker daemon to a coordinator. The call is
+// idempotent by URL and doubles as the heartbeat: a worker re-POSTs
+// within the returned lease to stay in the fleet, and a lapsed lease
+// drops it. When the coordinator runs with a fleet secret, it must be
+// supplied via WithAPIKey.
+func (c *Client) RegisterWorker(ctx context.Context, reg wire.WorkerRegistration) (wire.WorkerLease, error) {
+	var lease wire.WorkerLease
+	err := c.postJSON(ctx, "/v1/workers", reg, &lease)
+	return lease, err
+}
+
+// DeregisterWorker removes a worker from the fleet ahead of its lease
+// expiry — the clean-shutdown path, so the coordinator re-dispatches
+// immediately instead of waiting out the lease.
+func (c *Client) DeregisterWorker(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/v1/workers/"+url.PathEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
@@ -542,6 +580,16 @@ func (c *Client) authorize(req *http.Request) {
 func (c *Client) do(req *http.Request, v any) error {
 	c.authorize(req)
 	resp, err := c.http.Do(req)
+	// Idempotent GETs absorb transient transport failures — a daemon
+	// restarting mid-poll refuses or resets connections for a moment —
+	// under the same retry budget and backoff as sweep submission.
+	// Nothing with side effects is ever replayed on a transport error.
+	for attempt := 0; attempt < c.retries && req.Method == http.MethodGet && transientNetError(err); attempt++ {
+		if berr := retryBackoff(req.Context(), attempt, 0); berr != nil {
+			return berr
+		}
+		resp, err = c.http.Do(req)
+	}
 	if err != nil {
 		return err
 	}
@@ -553,6 +601,34 @@ func (c *Client) do(req *http.Request, v any) error {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// transientNetError reports whether err is a transport-level failure
+// worth retrying: the request never produced a response (connection
+// refused, reset, DNS hiccup) and the cause was not the caller's own
+// context ending.
+func transientNetError(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// retryBackoff sleeps before retry number attempt: the server's hint
+// when one was given, else an exponential backoff from 100ms capped at
+// 30s. Returns ctx's error when the context ends first.
+func retryBackoff(ctx context.Context, attempt int, hint time.Duration) error {
+	delay := hint
+	if delay <= 0 {
+		delay = min(100*time.Millisecond<<attempt, 30*time.Second)
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(delay):
+		return nil
+	}
 }
 
 // decodeError turns a non-2xx response into an error, preferring the

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -197,5 +198,78 @@ func TestAPIKeyHeader(t *testing.T) {
 	}
 	if len(*auths) != 1 || (*auths)[0] != "Bearer s3cret" {
 		t.Fatalf("daemon saw Authorization %v, want [Bearer s3cret]", *auths)
+	}
+}
+
+// flakyTransport fails the first `failures` round-trips with a plain
+// transport error (which net/http wraps in *url.Error, like a refused
+// dial) and then delegates to the real transport.
+type flakyTransport struct {
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.calls++
+	fail := f.calls <= f.failures
+	f.mu.Unlock()
+	if fail {
+		return nil, errors.New("connection reset by peer")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func (f *flakyTransport) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// TestGetRetriesTransientTransportErrors: with WithRetry, idempotent
+// GETs ride out transient transport failures; non-idempotent POSTs are
+// never replayed on a transport error, with or without retries.
+func TestGetRetriesTransientTransportErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(wire.Stats{Jobs: wire.JobCounts{Total: 7}})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	ft := &flakyTransport{failures: 2}
+	c := New(ts.URL, WithRetry(3), WithHTTPClient(&http.Client{Transport: ft}))
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("GET through a twice-flaky transport failed: %v", err)
+	}
+	if st.Jobs.Total != 7 {
+		t.Fatalf("stats.Jobs.Total = %d, want 7", st.Jobs.Total)
+	}
+	if ft.callCount() != 3 {
+		t.Fatalf("transport saw %d calls, want 3 (two failures + success)", ft.callCount())
+	}
+
+	// Without WithRetry the first transport error is final.
+	ft2 := &flakyTransport{failures: 1}
+	c2 := New(ts.URL, WithHTTPClient(&http.Client{Transport: ft2}))
+	if _, err := c2.Stats(context.Background()); err == nil {
+		t.Fatal("GET without retries survived a transport error")
+	}
+	if ft2.callCount() != 1 {
+		t.Fatalf("retry-less client called the transport %d times, want 1", ft2.callCount())
+	}
+
+	// POST is not idempotent: a transport error must not be replayed even
+	// with retries configured — the sweep may already be running.
+	ft3 := &flakyTransport{failures: 1000}
+	c3 := New(ts.URL, WithRetry(3), WithHTTPClient(&http.Client{Transport: ft3}))
+	_, err = c3.StartSweep(context.Background(), []hotnoc.SweepPoint{hotnoc.PeriodicPoint("A", hotnoc.Rot(), 1)})
+	if err == nil {
+		t.Fatal("POST through a dead transport succeeded")
+	}
+	if ft3.callCount() != 1 {
+		t.Fatalf("transport saw %d POST attempts, want 1 — transport errors must not replay submissions", ft3.callCount())
 	}
 }

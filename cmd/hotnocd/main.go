@@ -10,6 +10,8 @@
 //	        [-tenants FILE] [-allow-anonymous]
 //	        [-default-max-running N] [-default-max-queued N]
 //	        [-default-rate R] [-default-burst N] [-max-body BYTES]
+//	        [-coordinator] [-join URL] [-advertise URL]
+//	        [-fleet-secret SECRET] [-worker-lease 15s]
 //	        [-drain-timeout 1m] [-v]
 //
 // -addr is the listen address. -cache-dir persists NoC characterizations
@@ -40,9 +42,25 @@
 // 429 + Retry-After). Zero means unbounded. -max-body caps the POST
 // /v1/sweeps body (413 beyond it; 0 = 8 MiB).
 //
-// On SIGINT/SIGTERM the daemon stops accepting sweeps, drains in-flight
-// jobs for up to -drain-timeout, then cancels whatever remains and
-// exits. -v logs requests.
+// Daemons compose into a fleet. -coordinator runs this daemon as a
+// coordinator: it simulates nothing itself, but shards every submitted
+// sweep across the workers that joined it and merges their streams back
+// into one byte-identical, point-ordered stream — clients just point
+// -server at the coordinator. -join URL runs this daemon as a worker of
+// the coordinator at URL: it registers itself (advertising -advertise,
+// derived from -addr when omitted) and re-registers every third of the
+// coordinator's -worker-lease as a heartbeat; a worker that misses its
+// lease is expired and its unfinished shards move to survivors.
+// -fleet-secret, when set on the coordinator, must be presented by
+// joining workers — tenant API keys never leave the coordinator.
+//
+// On SIGHUP the daemon reloads its -tenants file in place: new keys,
+// weights and limits apply immediately, running jobs are untouched, and
+// a file that fails to parse keeps the current registry. On
+// SIGINT/SIGTERM the daemon stops accepting sweeps (a worker also
+// deregisters from its coordinator), drains in-flight jobs for up to
+// -drain-timeout, then cancels whatever remains and exits. -v logs
+// requests.
 //
 // Endpoints (see the server package for details):
 //
@@ -64,11 +82,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"hotnoc/client"
 	"hotnoc/server"
+	"hotnoc/server/fleet"
 	"hotnoc/server/tenant"
+	"hotnoc/server/wire"
 )
 
 func main() {
@@ -86,11 +110,20 @@ func main() {
 	defRate := flag.Float64("default-rate", 0, "default per-tenant submit rate in jobs/sec; excess is 429 (0 = unbounded)")
 	defBurst := flag.Int("default-burst", 0, "default per-tenant submit-rate burst (values below 1 act as 1)")
 	maxBody := flag.Int64("max-body", 0, "maximum POST /v1/sweeps body in bytes; excess is 413 (0 = 8 MiB)")
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator: shard sweeps across joined workers instead of simulating locally")
+	join := flag.String("join", "", "coordinator URL to join as a worker (e.g. http://coord:7077)")
+	advertise := flag.String("advertise", "", "base URL the coordinator reaches this worker at (default derives from -addr)")
+	fleetSecret := flag.String("fleet-secret", "", "shared secret gating worker registration; set on the coordinator, presented by joining workers")
+	workerLease := flag.Duration("worker-lease", 15*time.Second, "coordinator: how long a worker registration lives without a heartbeat")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to drain in-flight jobs on shutdown")
 	verbose := flag.Bool("v", false, "log requests")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "hotnocd: ", log.LstdFlags)
+
+	if *coordinator && *join != "" {
+		logger.Fatalf("-coordinator and -join are mutually exclusive: a daemon is either the coordinator or a worker")
+	}
 
 	defaults := tenant.Limits{
 		MaxRunning: *defMaxRunning,
@@ -117,7 +150,7 @@ func main() {
 		}
 	}
 
-	svc := server.New(server.Config{
+	cfg := server.Config{
 		CacheDir:   *cacheDir,
 		CacheLimit: *cacheLimit,
 		Workers:    *workers,
@@ -126,7 +159,12 @@ func main() {
 		MaxBody:    *maxBody,
 		RetainJobs: *retainJobs,
 		RetainFor:  *retainFor,
-	})
+	}
+	if *coordinator {
+		cfg.Fleet = fleet.NewCoordinator(fleet.Config{Lease: *workerLease, Secret: *fleetSecret})
+		logger.Printf("coordinator mode: sweeps shard across joined workers (lease %s)", *workerLease)
+	}
+	svc := server.New(cfg)
 	var handler http.Handler = svc
 	if *verbose {
 		handler = logRequests(logger, svc)
@@ -145,6 +183,33 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP hot-reloads the tenants file: new keys, weights and limits
+	// apply without restarting (or even pausing) the daemon. A file that
+	// no longer parses keeps the current registry — a typo must not lock
+	// every tenant out.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *tenantsFile == "" {
+				logger.Printf("SIGHUP: no -tenants file to reload")
+				continue
+			}
+			reg, err := tenant.Load(*tenantsFile, defaults, *allowAnon)
+			if err != nil {
+				logger.Printf("SIGHUP: tenants reload failed, keeping current registry: %v", err)
+				continue
+			}
+			svc.SetTenants(reg)
+			logger.Printf("SIGHUP: reloaded %d tenants from %s", reg.Len(), *tenantsFile)
+		}
+	}()
+
+	var leaveFleet func()
+	if *join != "" {
+		leaveFleet = joinFleet(ctx, logger, *join, *fleetSecret, advertiseURL(*advertise, *addr), *workers)
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Printf("listening on %s (cache-dir %q, workers %d)", *addr, *cacheDir, *workers)
@@ -157,6 +222,11 @@ func main() {
 		logger.Fatalf("serve: %v", err)
 	}
 
+	if leaveFleet != nil {
+		// Deregister before draining so the coordinator re-dispatches
+		// this worker's shards instead of waiting out the lease.
+		leaveFleet()
+	}
 	logger.Printf("shutting down: draining jobs (up to %s)", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -167,6 +237,76 @@ func main() {
 		logger.Printf("http shutdown: %v", err)
 	}
 	logger.Printf("bye")
+}
+
+// advertiseURL derives the base URL a worker advertises to its
+// coordinator when -advertise is not given: the listen address, with a
+// loopback host filled in when -addr leaves the host empty.
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// joinFleet registers this daemon with the coordinator at coordURL and
+// keeps the lease alive: registration is idempotent by URL, so re-POSTing
+// every third of the lease is the heartbeat, and a coordinator restart
+// just re-adds us under a fresh id. The returned function deregisters
+// cleanly — call it on shutdown before draining, so the coordinator
+// moves this worker's shards to survivors immediately.
+func joinFleet(ctx context.Context, logger *log.Logger, coordURL, secret, selfURL string, capacity int) func() {
+	if capacity <= 0 {
+		capacity = runtime.NumCPU()
+	}
+	cl := client.New(coordURL, client.WithAPIKey(secret))
+	reg := wire.WorkerRegistration{URL: selfURL, Capacity: capacity}
+	var (
+		mu sync.Mutex
+		id string
+	)
+	go func() {
+		interval := 5 * time.Second
+		for {
+			lease, err := cl.RegisterWorker(ctx, reg)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				logger.Printf("fleet: registering with %s failed (will retry): %v", coordURL, err)
+			} else {
+				mu.Lock()
+				if id != lease.ID {
+					logger.Printf("fleet: joined %s as %s, advertising %s (lease %.0fs)", coordURL, lease.ID, selfURL, lease.LeaseSec)
+				}
+				id = lease.ID
+				mu.Unlock()
+				if lease.LeaseSec > 0 {
+					interval = time.Duration(lease.LeaseSec*float64(time.Second)) / 3
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(interval):
+			}
+		}
+	}()
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if id == "" {
+			return
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := cl.DeregisterWorker(dctx, id); err != nil {
+			logger.Printf("fleet: deregister: %v", err)
+		}
+	}
 }
 
 // logRequests is a minimal request logger for -v.

@@ -14,16 +14,23 @@
 # exercises the multi-tenant surface: unauthenticated submissions are
 # 401, an authenticated figure1 -server run stays byte-identical to the
 # in-process run, an over-rate tenant gets 429 + Retry-After, and the
-# rejection shows up in that tenant's /v1/stats accounting. CI runs
-# this as the service-smoke job; check.sh mirrors it locally.
+# rejection shows up in that tenant's /v1/stats accounting. Finally it
+# rebuilds the service as a fleet — a coordinator with two joined
+# workers on cold, separate cache dirs — and requires the sharded
+# figure1 run to stay byte-identical to the in-process run while the
+# aggregated /v1/stats show every characterization and build computed
+# exactly once fleet-wide. CI runs this as the service-smoke job;
+# check.sh mirrors it locally.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 daemon_pid=""
+worker_pids=""
 cleanup() {
     [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    for p in $worker_pids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
@@ -32,7 +39,8 @@ go build -o "$workdir/hotnocd" ./cmd/hotnocd
 go build -o "$workdir/figure1" ./cmd/figure1
 go build -o "$workdir/hotsim" ./cmd/hotsim
 
-addr="127.0.0.1:$((20000 + $$ % 10000))"
+port=$((20000 + $$ % 10000))
+addr="127.0.0.1:$port"
 "$workdir/hotnocd" -addr "$addr" -cache-dir "$workdir/cache" >"$workdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
@@ -275,4 +283,80 @@ case "$stats" in
     ;;
 esac
 
-echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim + warm daemon restart: 0 builds, 0 decodes + tenants: 401/429/per-tenant stats)"
+echo "== restarting as a fleet: coordinator + 2 workers"
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+
+fleet_secret="smoke-fleet-secret-$$"
+"$workdir/hotnocd" -addr "$addr" -coordinator -fleet-secret "$fleet_secret" \
+    >"$workdir/coord.log" 2>&1 &
+daemon_pid=$!
+i=0
+while [ "$i" -lt 50 ]; do
+    if fetch "http://$addr/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+
+# Two workers with cold, separate cache dirs: any characterization or
+# build either worker performs is its own, so the fleet-wide counters
+# below prove the coordinator never computed an artifact twice.
+w=1
+while [ "$w" -le 2 ]; do
+    waddr="127.0.0.1:$((port + w))"
+    "$workdir/hotnocd" -addr "$waddr" -cache-dir "$workdir/wcache$w" \
+        -join "http://$addr" -fleet-secret "$fleet_secret" \
+        >"$workdir/worker$w.log" 2>&1 &
+    worker_pids="$worker_pids $!"
+    w=$((w + 1))
+done
+
+i=0
+while [ "$i" -lt 50 ]; do
+    n=$(fetch "http://$addr/v1/workers" 2>/dev/null | grep -o '"id":"w-' | wc -l)
+    [ "$n" -ge 2 ] && break
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ "$n" -lt 2 ]; then
+    echo "service smoke: fleet never reached 2 registered workers" >&2
+    cat "$workdir/coord.log" "$workdir/worker1.log" "$workdir/worker2.log" >&2
+    exit 1
+fi
+
+echo "== figure1 -server http://$addr (sharded across the fleet)"
+"$workdir/figure1" -server "http://$addr" -scale 8 -configs A,E -json >"$workdir/fleet.json"
+if ! cmp -s "$workdir/local.json" "$workdir/fleet.json"; then
+    echo "service smoke: fleet JSON differs from in-process run" >&2
+    diff "$workdir/local.json" "$workdir/fleet.json" >&2 || true
+    exit 1
+fi
+
+# Aggregated /v1/stats: A,E x 5 schemes = 10 characterizations and 2
+# builds fleet-wide, each computed on exactly one worker — more would
+# mean duplicated work, fewer a short-circuited sweep.
+stats=$(fetch "http://$addr/v1/stats")
+echo "$stats" >"$workdir/fleet_stats.json"
+case "$stats" in
+*'"cache_misses":10'*) ;;
+*)
+    echo "service smoke: fleet-wide characterizations not exactly-once: $stats" >&2
+    exit 1
+    ;;
+esac
+case "$stats" in
+*'"build_misses":2'*) ;;
+*)
+    echo "service smoke: fleet-wide builds not exactly-once: $stats" >&2
+    exit 1
+    ;;
+esac
+n=$(printf '%s' "$stats" | grep -o '"id":"w-' | wc -l)
+if [ "$n" -ne 2 ]; then
+    echo "service smoke: coordinator stats list $n workers, want 2: $stats" >&2
+    exit 1
+fi
+
+echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim + warm daemon restart: 0 builds, 0 decodes + tenants: 401/429/per-tenant stats + fleet: byte-identical shard merge, exactly-once artifacts)"

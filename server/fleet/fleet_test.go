@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hotnoc"
+)
+
+func pt(config, scheme string) hotnoc.SweepPoint {
+	return hotnoc.SweepPoint{Config: config, Scheme: hotnoc.Scheme{Name: scheme}}
+}
+
+// TestPartition: shards group by (config, scheme) in first-appearance
+// order, with ascending global indices.
+func TestPartition(t *testing.T) {
+	pts := []hotnoc.SweepPoint{
+		pt("A", "x"), pt("A", "y"), pt("B", "x"), pt("A", "x"), pt("B", "x"),
+	}
+	shards := Partition(pts)
+	want := []Shard{
+		{Key: ShardKey{Config: "A", Scheme: "x"}, Indices: []int{0, 3}},
+		{Key: ShardKey{Config: "A", Scheme: "y"}, Indices: []int{1}},
+		{Key: ShardKey{Config: "B", Scheme: "x"}, Indices: []int{2, 4}},
+	}
+	if !reflect.DeepEqual(shards, want) {
+		t.Fatalf("Partition = %+v, want %+v", shards, want)
+	}
+	sub := shards[2].Points(pts)
+	if len(sub) != 2 || sub[0].Config != "B" || sub[1].Config != "B" {
+		t.Fatalf("shard points = %+v, want the two B points", sub)
+	}
+}
+
+// TestPlanBundlesConfigs: every shard of one configuration lands on the
+// same worker (so each build is computed once), bundles place
+// largest-first onto the least-loaded slot, and the plan is
+// deterministic.
+func TestPlanBundlesConfigs(t *testing.T) {
+	pts := []hotnoc.SweepPoint{
+		pt("A", "x"), pt("A", "x"), pt("A", "y"), // A: 3 points
+		pt("B", "x"), pt("B", "y"), // B: 2 points
+		pt("C", "x"), // C: 1 point
+	}
+	shards := Partition(pts)
+	newSlots := func() []*slot {
+		return []*slot{{id: "w-1", capacity: 1}, {id: "w-2", capacity: 1}}
+	}
+	got := plan(shards, newSlots(), nil)
+	// LPT: A(3) -> w-1 (tie by id), B(2) -> w-2, C(1) -> w-2 (2 < 3).
+	want := map[ShardKey]string{
+		{Config: "A", Scheme: "x"}: "w-1",
+		{Config: "A", Scheme: "y"}: "w-1",
+		{Config: "B", Scheme: "x"}: "w-2",
+		{Config: "B", Scheme: "y"}: "w-2",
+		{Config: "C", Scheme: "x"}: "w-2",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("plan = %v, want %v", got, want)
+	}
+	if again := plan(shards, newSlots(), nil); !reflect.DeepEqual(again, got) {
+		t.Fatalf("plan is not deterministic: %v vs %v", again, got)
+	}
+	if plan(shards, nil, nil) != nil {
+		t.Fatal("plan with no slots must return nil")
+	}
+}
+
+// TestPlanHonorsOwnerClaims: a configuration whose build another sweep
+// already placed stays with its owner, overriding the greedy choice.
+func TestPlanHonorsOwnerClaims(t *testing.T) {
+	pts := []hotnoc.SweepPoint{
+		pt("A", "x"), pt("A", "x"), pt("A", "x"),
+		pt("B", "x"),
+	}
+	shards := Partition(pts)
+	slots := []*slot{{id: "w-1", capacity: 1}, {id: "w-2", capacity: 1}}
+	got := plan(shards, slots, func(config string) (string, bool) {
+		if config == "A" {
+			return "w-2", true
+		}
+		return "", false
+	})
+	if got[ShardKey{Config: "A", Scheme: "x"}] != "w-2" {
+		t.Fatalf("claimed config A placed on %s, want its owner w-2", got[ShardKey{Config: "A", Scheme: "x"}])
+	}
+	if got[ShardKey{Config: "B", Scheme: "x"}] != "w-1" {
+		t.Fatalf("config B placed on %s, want the idle w-1", got[ShardKey{Config: "B", Scheme: "x"}])
+	}
+}
+
+// TestCollector: duplicate outcomes are dropped and remaining reports
+// exactly the shard indices still missing.
+func TestCollector(t *testing.T) {
+	col := newCollector(5)
+	if !col.add(2) {
+		t.Fatal("first outcome for index 2 rejected")
+	}
+	if col.add(2) {
+		t.Fatal("duplicate outcome for index 2 accepted")
+	}
+	sh := Shard{Indices: []int{0, 2, 4}}
+	if rem := col.remaining(sh); !reflect.DeepEqual(rem, []int{0, 4}) {
+		t.Fatalf("remaining = %v, want [0 4]", rem)
+	}
+}
+
+// TestOrderer: outcomes arriving out of order buffer and drain as
+// contiguous runs from the next expected index.
+func TestOrderer(t *testing.T) {
+	out := func(i int) hotnoc.SweepOutcome {
+		return hotnoc.SweepOutcome{Point: hotnoc.SweepPoint{Blocks: i}}
+	}
+	ord := newOrderer(4)
+	if run := ord.add(1, out(1)); len(run) != 0 {
+		t.Fatalf("index 1 before 0 emitted %d outcomes", len(run))
+	}
+	run := ord.add(0, out(0))
+	if len(run) != 2 || run[0].Point.Blocks != 0 || run[1].Point.Blocks != 1 {
+		t.Fatalf("after index 0: run = %+v, want [0 1]", run)
+	}
+	if run := ord.add(3, out(3)); len(run) != 0 {
+		t.Fatalf("index 3 before 2 emitted %d outcomes", len(run))
+	}
+	if ord.complete() {
+		t.Fatal("orderer complete with outcomes pending")
+	}
+	run = ord.add(2, out(2))
+	if len(run) != 2 || run[0].Point.Blocks != 2 || run[1].Point.Blocks != 3 {
+		t.Fatalf("after index 2: run = %+v, want [2 3]", run)
+	}
+	if !ord.complete() || ord.emitted() != 4 {
+		t.Fatalf("complete=%v emitted=%d, want true/4", ord.complete(), ord.emitted())
+	}
+}
+
+// TestRegisterIdempotentByURL: re-registering the same URL keeps the
+// worker's id and refreshes its capacity — the heartbeat path.
+func TestRegisterIdempotentByURL(t *testing.T) {
+	co := NewCoordinator(Config{Lease: time.Hour})
+	l1 := co.Register("http://a", 2)
+	l2 := co.Register("http://a", 4)
+	if l1.ID != "w-1" || l2.ID != "w-1" {
+		t.Fatalf("re-registration changed the id: %q then %q", l1.ID, l2.ID)
+	}
+	ws := co.Workers()
+	if len(ws) != 1 || ws[0].Capacity != 4 {
+		t.Fatalf("workers = %+v, want one worker with refreshed capacity 4", ws)
+	}
+	if co.Register("http://b", 1).ID != "w-2" {
+		t.Fatal("a second URL did not get a fresh id")
+	}
+}
+
+// TestAcquireStickyClaims: acquire balances fresh keys by load and
+// routes keys with claims back to their owner, so artifacts are
+// computed exactly once fleet-wide.
+func TestAcquireStickyClaims(t *testing.T) {
+	co := NewCoordinator(Config{Lease: time.Hour})
+	co.Register("http://a", 1) // w-1
+	co.Register("http://b", 1) // w-2
+
+	w1 := co.acquire(ShardKey{Config: "A", Scheme: "x"}, 8, "")
+	if w1.ID() != "w-1" {
+		t.Fatalf("first acquire picked %s, want w-1 (id tie-break)", w1.ID())
+	}
+	// w-1 is busy, so a fresh key balances onto w-2.
+	w2 := co.acquire(ShardKey{Config: "B", Scheme: "x"}, 8, "")
+	if w2.ID() != "w-2" {
+		t.Fatalf("fresh key acquired %s while w-1 busy, want w-2", w2.ID())
+	}
+	// The characterization claim makes A/x sticky to w-1 even though both
+	// are equally loaded now.
+	if w := co.acquire(ShardKey{Config: "A", Scheme: "x"}, 8, ""); w.ID() != "w-1" {
+		t.Fatalf("claimed characterization acquired %s, want its owner w-1", w.ID())
+	}
+	// A new scheme on config A follows the build claim.
+	if w := co.acquire(ShardKey{Config: "A", Scheme: "y"}, 8, ""); w.ID() != "w-1" {
+		t.Fatalf("new scheme on claimed build acquired %s, want w-1", w.ID())
+	}
+	// A different scale is a different build: it balances freshly.
+	if w := co.acquire(ShardKey{Config: "A", Scheme: "x"}, 16, ""); w.ID() != "w-2" {
+		t.Fatalf("other-scale acquire picked %s, want the less-loaded w-2", w.ID())
+	}
+}
+
+// TestLeaseExpiry: a worker that stops heartbeating is expired — its
+// claims release and in-flight acquires cannot reach it — while
+// heartbeats keep it alive indefinitely.
+func TestLeaseExpiry(t *testing.T) {
+	co := NewCoordinator(Config{Lease: 100 * time.Millisecond})
+	expired := make(chan string, 1)
+	co.onExpire = func(id, reason string) { expired <- id }
+
+	co.Register("http://a", 1)
+	w := co.acquire(ShardKey{Config: "A", Scheme: "x"}, 8, "")
+	if w == nil {
+		t.Fatal("acquire on a live worker returned nil")
+	}
+	co.release(w)
+
+	// Two heartbeats at 60ms intervals outlive the 100ms lease.
+	for i := 0; i < 2; i++ {
+		time.Sleep(60 * time.Millisecond)
+		co.Register("http://a", 1)
+	}
+	if co.WorkerCount() != 1 {
+		t.Fatal("heartbeating worker expired")
+	}
+
+	select {
+	case id := <-expired:
+		if id != "w-1" {
+			t.Fatalf("expired %s, want w-1", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease never expired after heartbeats stopped")
+	}
+	if co.WorkerCount() != 0 {
+		t.Fatalf("worker count = %d after expiry, want 0", co.WorkerCount())
+	}
+	if w := co.acquire(ShardKey{Config: "A", Scheme: "x"}, 8, ""); w != nil {
+		t.Fatalf("acquire on an empty fleet returned %s", w.ID())
+	}
+	co.mu.Lock()
+	builds, chars := len(co.builds), len(co.chars)
+	co.mu.Unlock()
+	if builds != 0 || chars != 0 {
+		t.Fatalf("expiry left %d build and %d characterization claims", builds, chars)
+	}
+	select {
+	case <-w.gone:
+		// Expiry closed the worker's gone channel — the signal that
+		// unwinds any stream still attached to it.
+	default:
+		t.Fatal("expiry did not close the worker's gone channel")
+	}
+}
+
+// TestAssignGrantsClaims: the upfront plan records claims, so a repeat
+// assignment over the same grid reproduces the same placement even with
+// load skew in between.
+func TestAssignGrantsClaims(t *testing.T) {
+	co := NewCoordinator(Config{Lease: time.Hour})
+	co.Register("http://a", 1)
+	co.Register("http://b", 1)
+	pts := []hotnoc.SweepPoint{
+		pt("A", "x"), pt("A", "y"), pt("E", "x"), pt("E", "y"),
+	}
+	shards := Partition(pts)
+	first := co.assign(shards, 8)
+	if first == nil {
+		t.Fatal("assign returned nil with live workers")
+	}
+	if first[ShardKey{Config: "A", Scheme: "x"}] != first[ShardKey{Config: "A", Scheme: "y"}] {
+		t.Fatalf("config A split across workers: %v", first)
+	}
+	if first[ShardKey{Config: "A", Scheme: "x"}] == first[ShardKey{Config: "E", Scheme: "x"}] {
+		t.Fatalf("equal-size bundles not spread across the fleet: %v", first)
+	}
+	// Skew the load; claims must still pin the repeat to the same plan.
+	w := co.acquire(ShardKey{Config: "A", Scheme: "x"}, 8, "")
+	defer co.release(w)
+	if again := co.assign(shards, 8); !reflect.DeepEqual(again, first) {
+		t.Fatalf("repeat assign moved claimed bundles: %v vs %v", again, first)
+	}
+}

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"sync"
+
+	"hotnoc"
+)
+
+// collector tracks which global grid indices have already produced an
+// outcome. It is the fleet's exactly-once gate: a re-dispatched shard is
+// trimmed to the indices the collector has not seen (so surviving
+// workers only evaluate what the lost worker still owed), and a late
+// duplicate — a point whose outcome raced the worker's death — is
+// dropped, so clients see each point exactly once.
+type collector struct {
+	mu  sync.Mutex
+	got []bool
+}
+
+func newCollector(n int) *collector {
+	return &collector{got: make([]bool, n)}
+}
+
+// add records an outcome for global index i, reporting whether it is the
+// first one (false = duplicate, drop it).
+func (c *collector) add(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.got[i] {
+		return false
+	}
+	c.got[i] = true
+	return true
+}
+
+// remaining returns the shard indices still missing an outcome.
+func (c *collector) remaining(sh Shard) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rem []int
+	for _, gi := range sh.Indices {
+		if !c.got[gi] {
+			rem = append(rem, gi)
+		}
+	}
+	return rem
+}
+
+// orderer reassembles concurrently arriving per-shard outcomes into the
+// submitted grid's point order: outcomes buffer until the next expected
+// global index is present, then drain as a contiguous run. Together with
+// the deterministic per-worker point order this is what makes a merged
+// fleet stream byte-identical to a single-daemon stream.
+type orderer struct {
+	next    int
+	total   int
+	pending map[int]hotnoc.SweepOutcome
+}
+
+func newOrderer(total int) *orderer {
+	return &orderer{total: total, pending: map[int]hotnoc.SweepOutcome{}}
+}
+
+// add buffers the outcome for global index i and returns the run of
+// outcomes now emittable in point order (often empty).
+func (o *orderer) add(i int, out hotnoc.SweepOutcome) []hotnoc.SweepOutcome {
+	o.pending[i] = out
+	var run []hotnoc.SweepOutcome
+	for {
+		next, ok := o.pending[o.next]
+		if !ok {
+			return run
+		}
+		delete(o.pending, o.next)
+		o.next++
+		run = append(run, next)
+	}
+}
+
+// complete reports whether every outcome has been emitted.
+func (o *orderer) complete() bool { return o.next == o.total }
+
+// emitted reports how many outcomes have been emitted in order so far.
+func (o *orderer) emitted() int { return o.next }

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"sort"
+
+	"hotnoc"
+)
+
+// ShardKey identifies one shard of a sweep grid: all points sharing one
+// (configuration, scheme) pair. The key deliberately matches the
+// granularity of the expensive cached artifacts — a NoC characterization
+// is keyed by (config, scheme, scale) and a calibrated build by (config,
+// scale) — so a shard never needs an artifact that another shard's worker
+// is also computing.
+type ShardKey struct {
+	Config string
+	Scheme string
+}
+
+// Shard is one dispatchable unit of a sweep: the grid indices (ascending)
+// of every point sharing the key. A worker evaluates a shard as an
+// ordinary sub-sweep; because the indices are ascending and the worker
+// streams outcomes in point order, the shard's outcome stream maps back
+// to global grid indices by position.
+type Shard struct {
+	Key ShardKey
+	// Indices are the shard's positions in the submitted grid, ascending.
+	Indices []int
+}
+
+// Points returns the shard's grid points, in shard order, drawn from the
+// full submitted grid.
+func (sh Shard) Points(pts []hotnoc.SweepPoint) []hotnoc.SweepPoint {
+	sub := make([]hotnoc.SweepPoint, len(sh.Indices))
+	for i, gi := range sh.Indices {
+		sub[i] = pts[gi]
+	}
+	return sub
+}
+
+// Partition splits a sweep grid into (config, scheme)-aligned shards, in
+// first-appearance order. Periodic and reactive points of one (config,
+// scheme) land in the same shard — they share the same characterization,
+// exactly as they do inside a single Lab.
+func Partition(pts []hotnoc.SweepPoint) []Shard {
+	byKey := map[ShardKey]int{}
+	var shards []Shard
+	for i, p := range pts {
+		key := ShardKey{Config: p.Config, Scheme: p.Scheme.Name}
+		si, ok := byKey[key]
+		if !ok {
+			si = len(shards)
+			byKey[key] = si
+			shards = append(shards, Shard{Key: key})
+		}
+		shards[si].Indices = append(shards[si].Indices, i)
+	}
+	return shards
+}
+
+// slot is one live worker's assignment state during planning: its
+// identity, its advertised capacity, and the load (in grid points,
+// normalized by capacity) planning has placed on it so far.
+type slot struct {
+	id       string
+	capacity int
+	load     float64
+}
+
+func (s *slot) add(points int) {
+	cap := s.capacity
+	if cap < 1 {
+		cap = 1
+	}
+	s.load += float64(points) / float64(cap)
+}
+
+// plan assigns every shard to a worker id. Shards are bundled by
+// configuration and every bundle lands on a single worker, so each
+// calibrated build — keyed by (config, scale) — is computed by exactly
+// one worker, and with it every (config, scheme) characterization.
+// Bundles are placed largest-first (longest-processing-time greedy, the
+// per-shard point counts giving job sizes for free) onto the
+// least-loaded capacity-normalized slot; owner-supplied claims from
+// earlier sweeps override the greedy choice so a configuration a worker
+// has already annealed stays with that worker. All ties break by name,
+// so the plan is a pure function of its inputs.
+func plan(shards []Shard, slots []*slot, owner func(config string) (string, bool)) map[ShardKey]string {
+	type bundle struct {
+		config string
+		points int
+	}
+	index := map[string]*bundle{}
+	var bundles []*bundle
+	for _, sh := range shards {
+		b, ok := index[sh.Key.Config]
+		if !ok {
+			b = &bundle{config: sh.Key.Config}
+			index[sh.Key.Config] = b
+			bundles = append(bundles, b)
+		}
+		b.points += len(sh.Indices)
+	}
+	sort.Slice(bundles, func(i, k int) bool {
+		if bundles[i].points != bundles[k].points {
+			return bundles[i].points > bundles[k].points
+		}
+		return bundles[i].config < bundles[k].config
+	})
+	byID := map[string]*slot{}
+	for _, s := range slots {
+		byID[s.id] = s
+	}
+	assigned := map[ShardKey]string{}
+	for _, b := range bundles {
+		var chosen *slot
+		if owner != nil {
+			if id, ok := owner(b.config); ok {
+				chosen = byID[id]
+			}
+		}
+		if chosen == nil {
+			for _, s := range slots {
+				if chosen == nil || s.load < chosen.load ||
+					(s.load == chosen.load && s.id < chosen.id) {
+					chosen = s
+				}
+			}
+		}
+		if chosen == nil {
+			return nil
+		}
+		chosen.add(b.points)
+		for _, sh := range shards {
+			if sh.Key.Config == b.config {
+				assigned[sh.Key] = chosen.id
+			}
+		}
+	}
+	return assigned
+}

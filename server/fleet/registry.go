@@ -1,0 +1,250 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hotnoc/server/wire"
+)
+
+// Worker is one registered hotnocd daemon the coordinator may dispatch
+// shards to. The identity fields are fixed at registration; the
+// liveness and load fields mutate under the coordinator's mutex.
+type Worker struct {
+	id       string
+	url      string
+	capacity int
+
+	lastSeen time.Time
+	// active counts shard dispatches currently streaming from this
+	// worker — the load signal the planner balances on.
+	active int
+	// dead marks a worker whose lease expired, that deregistered, or
+	// that failed a dispatch; gone is closed at that moment so every
+	// in-flight stream from it unwinds immediately instead of hanging
+	// until TCP gives up.
+	dead bool
+	gone chan struct{}
+	// timer fires lease expiry; every heartbeat resets it.
+	timer *time.Timer
+}
+
+// ID returns the worker's coordinator-assigned id.
+func (w *Worker) ID() string { return w.id }
+
+// loadRatio is the worker's capacity-normalized load.
+func (w *Worker) loadRatio() float64 {
+	return float64(w.active) / float64(max(1, w.capacity))
+}
+
+// URL returns the worker's advertised base URL.
+func (w *Worker) URL() string { return w.url }
+
+// buildKey identifies a calibrated build — the annealing + calibration
+// artifact a worker computes once per (config, scale).
+type buildKey struct {
+	config string
+	scale  int
+}
+
+// charKey identifies a NoC characterization — computed once per
+// (config, scheme, scale).
+type charKey struct {
+	config string
+	scheme string
+	scale  int
+}
+
+// register adds (or heartbeats) a worker. Registration is idempotent by
+// URL: a re-POST from a live worker refreshes its lease and capacity and
+// keeps its id, so the registration call doubles as the heartbeat.
+// Callers hold c.mu.
+func (c *Coordinator) registerLocked(url string, capacity int) *Worker {
+	now := c.now()
+	if w, ok := c.byURL[url]; ok && !w.dead {
+		w.lastSeen = now
+		if capacity > 0 {
+			w.capacity = capacity
+		}
+		if w.timer != nil {
+			w.timer.Reset(c.lease())
+		}
+		return w
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.nextID++
+	w := &Worker{
+		id:       fmt.Sprintf("w-%d", c.nextID),
+		url:      url,
+		capacity: capacity,
+		lastSeen: now,
+		gone:     make(chan struct{}),
+	}
+	id := w.id
+	w.timer = time.AfterFunc(c.lease(), func() { c.expireWorker(id, "lease expired") })
+	c.workers[w.id] = w
+	c.byURL[url] = w
+	return w
+}
+
+// expireWorker removes a worker from the fleet: its lease lapsed, it
+// deregistered, or a dispatch to it failed at the transport level. Its
+// gone channel closes (unwinding in-flight streams), and every build and
+// characterization claim it held is released so re-dispatched shards may
+// be computed elsewhere. Idempotent.
+func (c *Coordinator) expireWorker(id, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok || w.dead {
+		return
+	}
+	w.dead = true
+	w.timer.Stop()
+	close(w.gone)
+	delete(c.workers, id)
+	if c.byURL[w.url] == w {
+		delete(c.byURL, w.url)
+	}
+	for k, owner := range c.builds {
+		if owner == id {
+			delete(c.builds, k)
+		}
+	}
+	for k, owner := range c.chars {
+		if owner == id {
+			delete(c.chars, k)
+		}
+	}
+	if c.onExpire != nil {
+		c.onExpire(id, reason)
+	}
+}
+
+// liveLocked returns the live workers sorted by id. Callers hold c.mu.
+func (c *Coordinator) liveLocked() []*Worker {
+	ws := make([]*Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, k int) bool { return ws[i].id < ws[k].id })
+	return ws
+}
+
+// WorkerCount reports how many live workers the fleet has.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Workers snapshots the live workers for introspection (GET /v1/workers
+// and the coordinator's /v1/stats).
+func (c *Coordinator) Workers() []wire.WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	infos := make([]wire.WorkerInfo, 0, len(c.workers))
+	for _, w := range c.liveLocked() {
+		claims := 0
+		for _, owner := range c.chars {
+			if owner == w.id {
+				claims++
+			}
+		}
+		infos = append(infos, wire.WorkerInfo{
+			ID:           w.id,
+			URL:          w.url,
+			Capacity:     w.capacity,
+			ActiveShards: w.active,
+			Claims:       claims,
+			LastSeenSec:  now.Sub(w.lastSeen).Seconds(),
+		})
+	}
+	return infos
+}
+
+// acquire picks the worker a shard dispatch should stream from,
+// incrementing its active count. hint names the planner's upfront
+// choice, honored while that worker lives; otherwise claims make the
+// choice sticky (the characterization's owner first, then the build's,
+// so a re-dispatched or follow-up shard lands where the artifacts
+// already are), and a fresh key goes to the least-loaded live worker.
+// Whatever worker is chosen is granted the shard's build and
+// characterization claims. Returns nil when the fleet has no live
+// workers.
+func (c *Coordinator) acquire(key ShardKey, scale int, hint string) *Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bk := buildKey{config: key.Config, scale: scale}
+	ck := charKey{config: key.Config, scheme: key.Scheme, scale: scale}
+	var w *Worker
+	if hint != "" {
+		w = c.workers[hint]
+	}
+	if w == nil {
+		if owner, ok := c.chars[ck]; ok {
+			w = c.workers[owner]
+		}
+	}
+	if w == nil {
+		if owner, ok := c.builds[bk]; ok {
+			w = c.workers[owner]
+		}
+	}
+	if w == nil {
+		// liveLocked is sorted by id, so the first minimum wins ties
+		// deterministically.
+		for _, lw := range c.liveLocked() {
+			if w == nil || lw.loadRatio() < w.loadRatio() {
+				w = lw
+			}
+		}
+		if w == nil {
+			return nil
+		}
+	}
+	c.builds[bk] = w.id
+	c.chars[ck] = w.id
+	w.active++
+	return w
+}
+
+// release undoes acquire's load accounting once a shard dispatch ends.
+func (c *Coordinator) release(w *Worker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.active > 0 {
+		w.active--
+	}
+}
+
+// assign plans the initial shard placement for one sweep and grants the
+// corresponding claims, so concurrent sweeps over the same
+// configurations converge on the same workers. Returns nil when the
+// fleet has no live workers.
+func (c *Coordinator) assign(shards []Shard, scale int) map[ShardKey]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := c.liveLocked()
+	if len(live) == 0 {
+		return nil
+	}
+	slots := make([]*slot, len(live))
+	for i, w := range live {
+		slots[i] = &slot{id: w.id, capacity: w.capacity, load: float64(w.active)}
+	}
+	assigned := plan(shards, slots, func(config string) (string, bool) {
+		owner, ok := c.builds[buildKey{config: config, scale: scale}]
+		return owner, ok
+	})
+	for _, sh := range shards {
+		id := assigned[sh.Key]
+		c.builds[buildKey{config: sh.Key.Config, scale: scale}] = id
+		c.chars[charKey{config: sh.Key.Config, scheme: sh.Key.Scheme, scale: scale}] = id
+	}
+	return assigned
+}

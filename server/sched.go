@@ -2,6 +2,8 @@ package server
 
 import (
 	"container/heap"
+	"context"
+	"iter"
 	"math"
 	"slices"
 	"time"
@@ -68,12 +70,19 @@ type tenantState struct {
 	points   int64 // cumulative outcomes evaluated
 }
 
+// sweepFn is the execution backend a dispatched job runs its grid on:
+// Lab.SweepWithProgress on a plain daemon, Coordinator.Sweep on a fleet
+// coordinator. Both stream outcomes in point order, so the job
+// machinery — event log, SSE replay, accounting — is identical either
+// way.
+type sweepFn func(ctx context.Context, pts []hotnoc.SweepPoint, progress func(hotnoc.Event)) iter.Seq2[hotnoc.SweepOutcome, error]
+
 // queuedJob is one admitted job waiting for dispatch, carrying
 // everything runJob needs the moment a slot frees.
 type queuedJob struct {
-	j   *job
-	lab *hotnoc.Lab
-	pts []hotnoc.SweepPoint
+	j     *job
+	sweep sweepFn
+	pts   []hotnoc.SweepPoint
 }
 
 // state returns t's scheduling state, creating it at the current

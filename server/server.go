@@ -13,6 +13,9 @@
 //	DELETE /v1/jobs/{id}          cancel a running job / forget a finished one
 //	GET    /v1/builds/{config}    placement report (query: scale)
 //	GET    /v1/stats              decode counter, cache hits, worker utilization
+//	POST   /v1/workers            (coordinator) worker registration + heartbeat
+//	DELETE /v1/workers/{id}       (coordinator) worker deregistration
+//	GET    /v1/workers            (coordinator) live fleet membership
 //	GET    /healthz               liveness
 //
 // Grids may mix periodic and reactive points (wire.PointSpec's kind
@@ -56,6 +59,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"net/http"
 	"slices"
 	"sort"
@@ -65,6 +69,7 @@ import (
 	"time"
 
 	"hotnoc"
+	"hotnoc/server/fleet"
 	"hotnoc/server/tenant"
 	"hotnoc/server/wire"
 )
@@ -107,6 +112,14 @@ type Config struct {
 	// listing. Zero keeps finished jobs until DELETEd (or evicted by
 	// RetainJobs).
 	RetainFor time.Duration
+	// Fleet, when non-nil, runs the daemon as a fleet coordinator:
+	// sweeps are not evaluated locally but sharded across the fleet's
+	// registered workers and merged back into one byte-identical stream
+	// (see hotnoc/server/fleet). The /v1/workers routes come alive,
+	// GET /v1/builds proxies to the worker owning the build, and
+	// /v1/stats aggregates counters across the whole fleet. Tenancy,
+	// admission and weighted-fair scheduling stay coordinator-side.
+	Fleet *fleet.Coordinator
 }
 
 // Server serves Lab sweeps over HTTP. Create one with New, mount it as an
@@ -179,6 +192,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/builds/{config}", s.handleBuild)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleWorkerDeregister)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -190,10 +206,12 @@ func New(cfg Config) *Server {
 type tenantKey struct{}
 
 // ServeHTTP authenticates every /v1 request against the tenant
-// registry before routing; /healthz stays open for liveness probes.
+// registry before routing; /healthz stays open for liveness probes, and
+// worker fleet-membership mutations carry the fleet secret instead of a
+// tenant key (see workerAuthExempt).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasPrefix(r.URL.Path, "/v1/") {
-		tn, err := s.tenants.Authenticate(r.Header.Get("Authorization"))
+	if strings.HasPrefix(r.URL.Path, "/v1/") && !workerAuthExempt(r) {
+		tn, err := s.registry().Authenticate(r.Header.Get("Authorization"))
 		if err != nil {
 			status := http.StatusUnauthorized
 			if errors.Is(err, tenant.ErrDisabled) {
@@ -212,6 +230,58 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func requestTenant(r *http.Request) *tenant.Tenant {
 	tn, _ := r.Context().Value(tenantKey{}).(*tenant.Tenant)
 	return tn
+}
+
+// workerAuthExempt reports whether r is a worker fleet-membership
+// mutation (registration heartbeat or deregistration). Workers are
+// infrastructure, not tenants: those requests authenticate with the
+// coordinator's fleet secret inside the fleet handlers, so tenant auth
+// skips them. Reads of /v1/workers stay tenant-authenticated like every
+// other introspection route.
+func workerAuthExempt(r *http.Request) bool {
+	if r.Method == http.MethodGet {
+		return false
+	}
+	return r.URL.Path == "/v1/workers" || strings.HasPrefix(r.URL.Path, "/v1/workers/")
+}
+
+// registry returns the current tenant registry — always through here,
+// because SetTenants may swap it at runtime.
+func (s *Server) registry() *tenant.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants
+}
+
+// SetTenants swaps the tenant registry at runtime — the SIGHUP
+// hot-reload path. New requests authenticate against reg immediately.
+// Tenants the scheduler already tracks have their weight and limits
+// updated in place, so queued and running jobs keep flowing under the
+// new policy without a restart; tenants removed from reg simply stop
+// authenticating (their historical accounting stays on /v1/stats). A
+// nil reg reverts to an open daemon.
+func (s *Server) SetTenants(reg *tenant.Registry) {
+	if reg == nil {
+		reg = tenant.Open(tenant.Limits{})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenants = reg
+	byID := map[string]*tenant.Tenant{}
+	for _, t := range reg.All() {
+		byID[t.ID] = t
+	}
+	if anon := reg.Anonymous(); anon != nil {
+		byID[anon.ID] = anon
+	}
+	for id, ts := range s.sched.tenants {
+		t, ok := byID[id]
+		if !ok {
+			continue
+		}
+		ts.weight = max(1, t.Weight)
+		ts.limits = t.Limits
+	}
 }
 
 // Shutdown drains the server: new sweeps are rejected with 503 while
@@ -265,6 +335,20 @@ func (s *Server) labFor(scale int) *hotnoc.Lab {
 	return lab
 }
 
+// sweepFor returns the execution backend jobs at one scale run on: the
+// shared local Lab, or — on a coordinator — the fleet, which shards the
+// grid across workers and merges the streams back byte-identically. A
+// coordinator instantiates no local Labs; all simulation happens on
+// workers.
+func (s *Server) sweepFor(scale int) sweepFn {
+	if fl := s.cfg.Fleet; fl != nil {
+		return func(ctx context.Context, pts []hotnoc.SweepPoint, progress func(hotnoc.Event)) iter.Seq2[hotnoc.SweepOutcome, error] {
+			return fl.Sweep(ctx, scale, pts, progress)
+		}
+	}
+	return s.labFor(scale).SweepWithProgress
+}
+
 func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	maxBody := s.cfg.MaxBody
 	if maxBody <= 0 {
@@ -312,7 +396,7 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	cur := requestTenant(r)
-	lab := s.labFor(scale)
+	sweep := s.sweepFor(scale)
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	if s.draining {
@@ -355,7 +439,7 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	// takes to set draining guarantees Shutdown's Wait sees this job —
 	// queued jobs included.
 	s.jobsWG.Add(1)
-	s.sched.enqueue(ts, &queuedJob{j: j, lab: lab, pts: pts})
+	s.sched.enqueue(ts, &queuedJob{j: j, sweep: sweep, pts: pts})
 	s.dispatchLocked()
 	created := wire.SweepCreated{ID: id, Points: len(pts), Tenant: cur.ID}
 	created.State = j.stateNow()
@@ -443,7 +527,7 @@ func (s *Server) runJob(ts *tenantState, qj *queuedJob) {
 	progress := func(ev hotnoc.Event) {
 		j.append(wire.EventProgress, wire.FromEvent(ev))
 	}
-	for out, err := range qj.lab.SweepWithProgress(j.ctx, qj.pts, progress) {
+	for out, err := range qj.sweep(j.ctx, qj.pts, progress) {
 		if err != nil {
 			state := wire.JobFailed
 			if errors.Is(err, context.Canceled) {
@@ -675,12 +759,57 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		}
 		scale = n
 	}
+	if fl := s.cfg.Fleet; fl != nil {
+		// A coordinator holds no builds itself: proxy to the worker
+		// owning the configuration's build claim, so the report comes
+		// from the caches that actually annealed it.
+		rep, err := fl.Placement(r.Context(), config, scale)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, fleet.ErrNoWorkers) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, rep)
+		return
+	}
 	rep, err := s.labFor(scale).Placement(r.Context(), config)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, rep)
+}
+
+// fleet returns the coordinator behind this daemon, answering 404 on a
+// plain daemon — the /v1/workers surface only exists in coordinator
+// mode.
+func (s *Server) fleet(w http.ResponseWriter) *fleet.Coordinator {
+	if s.cfg.Fleet == nil {
+		writeError(w, http.StatusNotFound, "this daemon is not a fleet coordinator")
+		return nil
+	}
+	return s.cfg.Fleet
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if fl := s.fleet(w); fl != nil {
+		fl.HandleRegister(w, r)
+	}
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	if fl := s.fleet(w); fl != nil {
+		fl.HandleDeregister(w, r)
+	}
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if fl := s.fleet(w); fl != nil {
+		fl.HandleWorkers(w, r)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -725,15 +854,92 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Points:   ts.points,
 		})
 	}
+	reg := s.tenants
 	s.mu.Unlock()
 	sort.Slice(tenants, func(i, k int) bool { return tenants[i].ID < tenants[k].ID })
 
-	writeJSON(w, wire.Stats{Jobs: counts, Labs: labs, Tenants: tenants, Limits: wire.Limits{
+	st := wire.Stats{Jobs: counts, Labs: labs, Tenants: tenants, Limits: wire.Limits{
 		MaxJobs:      s.cfg.MaxJobs,
 		RetainJobs:   s.cfg.RetainJobs,
 		RetainForSec: s.cfg.RetainFor.Seconds(),
-		AuthRequired: s.tenants.AuthRequired(),
-	}})
+		AuthRequired: reg.AuthRequired(),
+	}}
+	if fl := s.cfg.Fleet; fl != nil {
+		// A coordinator's own counters are job bookkeeping only; the
+		// simulation counters live on the workers. Fold them in so one
+		// stats call answers for the whole fleet.
+		flabs, ftenants := fl.FleetStats(r.Context())
+		st.Labs = mergeLabStats(st.Labs, flabs)
+		st.Tenants = mergeTenantStats(st.Tenants, ftenants)
+		st.Workers = fl.Workers()
+	}
+	writeJSON(w, st)
+}
+
+// mergeLabStats sums two per-scale counter sets, each already unique by
+// scale, into one sorted by scale.
+func mergeLabStats(a, b []hotnoc.LabStats) []hotnoc.LabStats {
+	byScale := map[int]*hotnoc.LabStats{}
+	var scales []int
+	for _, src := range [][]hotnoc.LabStats{a, b} {
+		for _, ls := range src {
+			agg, ok := byScale[ls.Scale]
+			if !ok {
+				agg = &hotnoc.LabStats{Scale: ls.Scale}
+				byScale[ls.Scale] = agg
+				scales = append(scales, ls.Scale)
+			}
+			agg.Workers += ls.Workers
+			agg.BusyWorkers += ls.BusyWorkers
+			agg.Decodes += ls.Decodes
+			agg.CacheHits += ls.CacheHits
+			agg.CacheMisses += ls.CacheMisses
+			agg.BuildHits += ls.BuildHits
+			agg.BuildMisses += ls.BuildMisses
+		}
+	}
+	sort.Ints(scales)
+	out := make([]hotnoc.LabStats, 0, len(scales))
+	for _, sc := range scales {
+		out = append(out, *byScale[sc])
+	}
+	return out
+}
+
+// mergeTenantStats folds worker-side tenant counters into the
+// coordinator's own table by id. Where both sides know a tenant the
+// coordinator's weight is authoritative — workers see shard sub-jobs
+// anonymously, so in practice only the anonymous row overlaps.
+func mergeTenantStats(local, remote []wire.TenantStats) []wire.TenantStats {
+	byID := map[string]*wire.TenantStats{}
+	var ids []string
+	for i := range local {
+		ts := local[i]
+		byID[ts.ID] = &ts
+		ids = append(ids, ts.ID)
+	}
+	for _, ts := range remote {
+		agg, ok := byID[ts.ID]
+		if !ok {
+			cp := ts
+			byID[ts.ID] = &cp
+			ids = append(ids, ts.ID)
+			continue
+		}
+		agg.Running += ts.Running
+		agg.Queued += ts.Queued
+		agg.Done += ts.Done
+		agg.Failed += ts.Failed
+		agg.Canceled += ts.Canceled
+		agg.Rejected += ts.Rejected
+		agg.Points += ts.Points
+	}
+	sort.Strings(ids)
+	out := make([]wire.TenantStats, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *byID[id])
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

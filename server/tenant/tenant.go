@@ -281,6 +281,11 @@ func (r *Registry) AuthRequired() bool { return r.anon == nil }
 // Len reports how many keyed tenants the registry holds.
 func (r *Registry) Len() int { return len(r.list) }
 
+// All returns the registry's keyed tenants in definition order — the
+// hot-reload path uses it to carry new weights and limits into live
+// scheduler state. Callers must not mutate the returned tenants.
+func (r *Registry) All() []*Tenant { return r.list }
+
 // bearerKey extracts the key from "Bearer <key>" (scheme
 // case-insensitive, per RFC 6750). A missing or differently-schemed
 // header reports ok=false.
