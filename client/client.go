@@ -494,6 +494,39 @@ func (c *Client) Job(ctx context.Context, id string) (wire.JobInfo, error) {
 	return info, err
 }
 
+// JobProgress is the live-introspection slice of a job's state: how far
+// it is, what pipeline stage it is in, and the daemon's ETA estimate.
+type JobProgress struct {
+	// State is the job's lifecycle state (wire.JobQueued, JobRunning,
+	// JobDone, JobFailed, JobCanceled).
+	State string
+	// Stage is the pipeline stage a running job most recently entered
+	// ("build", "characterize", "evaluate"); empty otherwise.
+	Stage string
+	// Done and Total count streamed outcomes against the submitted grid.
+	Done, Total int
+	// EtaSec is the daemon's completion estimate in seconds: queue-pace
+	// extrapolation while queued, own-pace extrapolation while running;
+	// zero when the daemon has nothing to extrapolate from.
+	EtaSec float64
+}
+
+// JobProgress polls one job's live progress — a convenience over Job
+// for progress bars and watch loops.
+func (c *Client) JobProgress(ctx context.Context, id string) (JobProgress, error) {
+	info, err := c.Job(ctx, id)
+	if err != nil {
+		return JobProgress{}, err
+	}
+	return JobProgress{
+		State:  info.State,
+		Stage:  info.Stage,
+		Done:   info.Done,
+		Total:  info.Points,
+		EtaSec: info.EtaSec,
+	}, nil
+}
+
 // CancelJob cancels a running job (its sweep context is canceled and its
 // event stream terminates with an error event) or forgets a finished one.
 func (c *Client) CancelJob(ctx context.Context, id string) (wire.JobInfo, error) {

@@ -12,7 +12,8 @@
 //	        [-default-rate R] [-default-burst N] [-max-body BYTES]
 //	        [-coordinator] [-join URL] [-advertise URL]
 //	        [-fleet-secret SECRET] [-worker-lease 15s]
-//	        [-drain-timeout 1m] [-v]
+//	        [-metrics] [-metrics-log FILE] [-metrics-flush 15s]
+//	        [-event-buffer N] [-drain-timeout 1m] [-v]
 //
 // -addr is the listen address. -cache-dir persists NoC characterizations
 // and calibrated build snapshots (annealed placement + energy
@@ -54,6 +55,19 @@
 // -fleet-secret, when set on the coordinator, must be presented by
 // joining workers — tenant API keys never leave the coordinator.
 //
+// The daemon is observable in production. GET /metrics (on by default;
+// -metrics=false turns the subsystem off) serves Prometheus text
+// exposition: stage-latency histograms and cache counters per scale,
+// queue-wait and per-tenant job counters, scheduler depth gauges — and,
+// on a coordinator, fleet-wide aggregates with per-worker labels that
+// stay monotonic across worker restarts. GET /v1/events streams
+// structured lifecycle diagnostics (job submitted/queued/dispatched/
+// finished, tenant throttling, worker join/leave) as tenant-scoped
+// server-sent events with Last-Event-ID resume; -event-buffer sets its
+// replay depth. -metrics-log appends a JSON snapshot of every
+// instrument to a file each -metrics-flush interval — flight-recorder
+// observability with no scraper in sight.
+//
 // On SIGHUP the daemon reloads its -tenants file in place: new keys,
 // weights and limits apply immediately, running jobs are untouched, and
 // a file that fails to parse keeps the current registry. On
@@ -71,6 +85,8 @@
 //	DELETE /v1/jobs/{id}          cancel (or forget) a job
 //	GET    /v1/builds/{config}    placement report (query: scale)
 //	GET    /v1/stats              decodes, cache hits, worker utilization
+//	GET    /v1/events             SSE diagnostics stream (lifecycle events)
+//	GET    /metrics               Prometheus text exposition
 //	GET    /healthz               liveness
 package main
 
@@ -89,6 +105,7 @@ import (
 	"time"
 
 	"hotnoc/client"
+	"hotnoc/obs"
 	"hotnoc/server"
 	"hotnoc/server/fleet"
 	"hotnoc/server/tenant"
@@ -116,6 +133,10 @@ func main() {
 	fleetSecret := flag.String("fleet-secret", "", "shared secret gating worker registration; set on the coordinator, presented by joining workers")
 	workerLease := flag.Duration("worker-lease", 15*time.Second, "coordinator: how long a worker registration lives without a heartbeat")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to drain in-flight jobs on shutdown")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics on GET /metrics and record pipeline instruments")
+	metricsLog := flag.String("metrics-log", "", "append periodic JSON metric snapshots to this file (requires -metrics)")
+	metricsFlush := flag.Duration("metrics-flush", 15*time.Second, "how often -metrics-log snapshots are written")
+	eventBuffer := flag.Int("event-buffer", 0, "GET /v1/events diagnostics ring capacity (0 = 512)")
 	verbose := flag.Bool("v", false, "log requests")
 	flag.Parse()
 
@@ -151,18 +172,37 @@ func main() {
 	}
 
 	cfg := server.Config{
-		CacheDir:   *cacheDir,
-		CacheLimit: *cacheLimit,
-		Workers:    *workers,
-		MaxJobs:    *maxJobs,
-		Tenants:    registry,
-		MaxBody:    *maxBody,
-		RetainJobs: *retainJobs,
-		RetainFor:  *retainFor,
+		CacheDir:       *cacheDir,
+		CacheLimit:     *cacheLimit,
+		Workers:        *workers,
+		MaxJobs:        *maxJobs,
+		Tenants:        registry,
+		MaxBody:        *maxBody,
+		RetainJobs:     *retainJobs,
+		RetainFor:      *retainFor,
+		DisableMetrics: !*metrics,
+		EventBuffer:    *eventBuffer,
 	}
 	if *coordinator {
 		cfg.Fleet = fleet.NewCoordinator(fleet.Config{Lease: *workerLease, Secret: *fleetSecret})
 		logger.Printf("coordinator mode: sweeps shard across joined workers (lease %s)", *workerLease)
+	}
+	// The daemon's registry is created here so sinks can attach to it;
+	// server.New records its scheduler, pipeline and fleet instruments
+	// into it and serves it on GET /metrics.
+	obsReg := obs.NewRegistry()
+	cfg.Metrics = obsReg
+	var metricsBatcher *obs.Batcher
+	if *metricsLog != "" {
+		if !*metrics {
+			logger.Fatalf("-metrics-log requires -metrics")
+		}
+		f, err := os.OpenFile(*metricsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("-metrics-log: %v", err)
+		}
+		metricsBatcher = obs.NewBatcher(obsReg, *metricsFlush, obs.NewLogSink(f))
+		logger.Printf("metrics snapshots every %s to %s", *metricsFlush, *metricsLog)
 	}
 	svc := server.New(cfg)
 	var handler http.Handler = svc
@@ -235,6 +275,13 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("http shutdown: %v", err)
+	}
+	if metricsBatcher != nil {
+		// Final snapshot: the terminal counter values land in the log
+		// before exit.
+		if err := metricsBatcher.Close(); err != nil {
+			logger.Printf("metrics flush: %v", err)
+		}
 	}
 	logger.Printf("bye")
 }

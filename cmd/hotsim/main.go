@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hotsim [-config A] [-scheme rot] [-blocks 1] [-scale N] [-nomigenergy]
-//	       [-cache-dir DIR] [-server URL]
+//	       [-cache-dir DIR] [-server URL] [-progress]
 //	hotsim -reactive -trigger 84 [-sim-blocks 2048] [-warmup-blocks N]
 //	       [-sensor-quant 0.25] [-dt 5e-6] [-config A] [-scheme rot]
 //	       [-scale N] [-cache-dir DIR] [-server URL]
@@ -19,7 +19,9 @@
 // left by any other tool on the
 // same directory, and -server runs the evaluation — either kind — on a
 // hotnocd daemon with byte-identical output; -cache-dir is then the
-// daemon's business.
+// daemon's business. -progress logs pipeline events to stderr as they
+// happen — against a daemon these are the server's own live progress
+// events, streamed back over SSE.
 package main
 
 import (
@@ -50,6 +52,7 @@ func main() {
 	sensorQuant := flag.Float64("sensor-quant", 0.25, "reactive sensor resolution in °C")
 	dt := flag.Float64("dt", 5e-6, "reactive thermal integrator step in seconds")
 	peaksEvery := flag.Int("peaks-every", 0, "record the sensor timeline every N blocks (0/1 = every block, negative = omit)")
+	progress := flag.Bool("progress", false, "log build/characterize/evaluate events to stderr (remote runs included)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -60,7 +63,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hotsim:", err)
 		os.Exit(1)
 	}
-	session := client.NewSession(*serverURL, *apiKey, *scale, 0, *cacheDir, nil)
+	var logEvent func(hotnoc.Event)
+	if *progress {
+		logEvent = func(ev hotnoc.Event) { fmt.Fprintln(os.Stderr, "hotsim:", ev) }
+	}
+	session := client.NewSession(*serverURL, *apiKey, *scale, 0, *cacheDir, logEvent)
 
 	// Flags belonging to the other mode are an error, not silently
 	// dropped: the threshold policy has no fixed period and always

@@ -94,6 +94,20 @@ func (c *BuildCache) Get(config string, scale int) (*chipcfg.Built, bool, error)
 			return b, b != nil
 		},
 		func() (*chipcfg.Built, error) {
+			// Cold path: serialize with other processes sharing the cache
+			// directory via an advisory per-key lock file, so two
+			// coordinator-less daemons anneal a configuration once. After
+			// acquiring (i.e. after any concurrent holder finished),
+			// re-check the disk — the holder's snapshot usually makes the
+			// build unnecessary. Lock acquisition failure (no directory,
+			// wait budget exhausted, stale break) degrades to building
+			// here, never to an error.
+			if release := c.disk.waitLock(c.path(key)); release != nil {
+				defer release()
+				if b := c.load(key); b != nil {
+					return b, nil
+				}
+			}
 			b, err := c.build(config, scale)
 			if err != nil {
 				return nil, err

@@ -138,6 +138,64 @@ func (c *diskCache) evict() {
 	}
 }
 
+// Advisory cross-process locking. Two coordinator-less daemons pointed
+// at one cache directory race to build the same cold key; an advisory
+// lock file per entry serializes them so the expensive compute (an
+// annealing build) runs once and the loser reloads the winner's
+// snapshot. The lock is O_CREATE|O_EXCL — portable to every platform Go
+// supports, unlike flock — with mtime-based staleness so a crashed
+// holder cannot wedge the key forever. Locking is best-effort like
+// every disk operation here: an unwritable directory or an exhausted
+// wait budget degrades to duplicate work, never to a failed sweep.
+var (
+	// lockStaleAfter is how old a lock file must be before a contender
+	// breaks it: comfortably above the longest paper-scale anneal.
+	lockStaleAfter = 10 * time.Minute
+	// lockPollEvery is the contender's polling cadence.
+	lockPollEvery = 100 * time.Millisecond
+	// lockWaitMax bounds how long a contender waits before giving up
+	// and computing anyway — duplicate work beats a deadlocked sweep.
+	lockWaitMax = 15 * time.Minute
+)
+
+// waitLock blocks until it holds the advisory lock for path, returning
+// the release function — or nil when locking is unavailable (no cache
+// directory, unwritable directory) or the wait budget ran out, in which
+// case the caller proceeds unlocked.
+func (c *diskCache) waitLock(path string) (release func()) {
+	if !c.enabled() {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil
+	}
+	lockPath := path + ".lock"
+	deadline := time.Now().Add(lockWaitMax)
+	for {
+		f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			// The pid is diagnostic only; identity is the file itself.
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() { _ = os.Remove(lockPath) }
+		}
+		if !os.IsExist(err) {
+			return nil
+		}
+		if fi, serr := os.Stat(lockPath); serr == nil && time.Since(fi.ModTime()) > lockStaleAfter {
+			// A crashed holder left the lock behind; break it and retry.
+			// Losing the remove race to another contender is fine — the
+			// next OpenFile settles who holds the fresh lock.
+			_ = os.Remove(lockPath)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(lockPollEvery)
+	}
+}
+
 // slug folds a name into a filesystem-safe token.
 func slug(s string) string {
 	var b strings.Builder

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotnoc/internal/chipcfg"
+)
+
+// pinLockTiming speeds the advisory-lock poll loop up for tests and
+// restores the production cadence afterwards.
+func pinLockTiming(t *testing.T, poll, stale, wait time.Duration) {
+	t.Helper()
+	prevPoll, prevStale, prevWait := lockPollEvery, lockStaleAfter, lockWaitMax
+	lockPollEvery, lockStaleAfter, lockWaitMax = poll, stale, wait
+	t.Cleanup(func() { lockPollEvery, lockStaleAfter, lockWaitMax = prevPoll, prevStale, prevWait })
+}
+
+// TestBuildLockDedupsAcrossCaches is the coordinator-less shared
+// cache-dir scenario: two independent BuildCaches (standing in for two
+// daemon processes — each has its own in-memory singleflight, so only
+// the advisory lock file can coordinate them) resolve the same cold key
+// concurrently. The advisory lock must serialize them so exactly one
+// anneal runs and the loser reconstitutes the winner's snapshot.
+func TestBuildLockDedupsAcrossCaches(t *testing.T) {
+	pinLockTiming(t, 2*time.Millisecond, time.Hour, time.Minute)
+	real := bcBuilt(t)
+	dir := t.TempDir()
+
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	mkCache := func() *BuildCache {
+		c := NewBuildCache(dir, 0)
+		c.build = func(config string, scale int) (*chipcfg.Built, error) {
+			builds.Add(1)
+			entered <- struct{}{}
+			<-gate
+			return real, nil
+		}
+		return c
+	}
+	a, b := mkCache(), mkCache()
+
+	type res struct {
+		built *chipcfg.Built
+		err   error
+	}
+	results := make(chan res, 2)
+	get := func(c *BuildCache) {
+		built, _, err := c.Get("A", bcScale)
+		results <- res{built, err}
+	}
+	go get(a)
+	// Wait for the first daemon to hold the lock and sit inside its
+	// build before the second one starts, so the contender path is the
+	// one exercised.
+	<-entered
+	go get(b)
+
+	// While the holder is mid-anneal, the contender must wait on the
+	// lock file rather than start a second build.
+	select {
+	case <-entered:
+		t.Fatal("second cache started a build while the first held the lock")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gate)
+
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("Get: %v", r.err)
+		}
+		if r.built == nil {
+			t.Fatal("Get returned nil build")
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("expected exactly one cold build across both caches, got %d", n)
+	}
+	// The winner's release must not leave the lock file behind.
+	if _, err := os.Stat(a.path(BuildKey{Config: "A", Scale: bcScale}) + ".lock"); !os.IsNotExist(err) {
+		t.Fatalf("lock file still present after both Gets: %v", err)
+	}
+}
+
+// TestBuildLockBreaksStaleLock: a lock file left by a crashed holder
+// must not wedge the key — a contender older than the staleness bound
+// breaks it and builds.
+func TestBuildLockBreaksStaleLock(t *testing.T) {
+	pinLockTiming(t, 2*time.Millisecond, 50*time.Millisecond, time.Minute)
+	dir := t.TempDir()
+	var builds int
+	c := countingCache(t, dir, &builds)
+
+	lock := c.path(BuildKey{Config: "A", Scale: bcScale}) + ".lock"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lock, []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get("A", bcScale)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Get wedged behind a stale lock")
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+}
+
+// TestBuildLockMemoryOnly: without a cache directory there is nothing
+// to lock; the cold path must not touch the filesystem or stall.
+func TestBuildLockMemoryOnly(t *testing.T) {
+	var builds int
+	c := countingCache(t, "", &builds)
+	if _, _, err := c.Get("A", bcScale); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+}

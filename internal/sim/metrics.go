@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"strconv"
+	"time"
+
+	"hotnoc/obs"
+)
+
+// metrics holds the runner's pre-registered instruments. All fields are
+// resolved once at construction so the recording paths are pure atomic
+// operations: a *metrics is nil when no registry was configured, and
+// every method is nil-receiver safe, which keeps call sites free of
+// conditionals.
+type metrics struct {
+	buildSeconds *obs.Histogram
+	charSeconds  *obs.Histogram
+	evalSeconds  *obs.Histogram
+
+	charHits    *obs.Counter
+	charMisses  *obs.Counter
+	buildHits   *obs.Counter
+	buildMisses *obs.Counter
+
+	decodes *obs.Counter
+	points  *obs.Counter
+}
+
+// newMetrics registers the pipeline instruments on reg, labeled with
+// the runner's scale so several Labs can share one registry. A nil
+// registry returns nil, which disables recording.
+func newMetrics(reg *obs.Registry, scale int) *metrics {
+	if reg == nil {
+		return nil
+	}
+	s := strconv.Itoa(scale)
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("hotnoc_stage_seconds",
+			"Pipeline stage latency in seconds; build and characterize observe cold computes only.",
+			obs.Labels{"scale": s, "stage": name}, obs.LatencyBuckets())
+	}
+	cache := func(kind, result string) *obs.Counter {
+		return reg.Counter("hotnoc_cache_requests_total",
+			"Cross-run cache requests by artifact kind and result.",
+			obs.Labels{"scale": s, "kind": kind, "result": result})
+	}
+	return &metrics{
+		buildSeconds: stage("build"),
+		charSeconds:  stage("characterize"),
+		evalSeconds:  stage("evaluate"),
+		charHits:     cache("characterization", "hit"),
+		charMisses:   cache("characterization", "miss"),
+		buildHits:    cache("build", "hit"),
+		buildMisses:  cache("build", "miss"),
+		decodes: reg.Counter("hotnoc_decodes_total",
+			"Engine block decodes performed for NoC characterizations.",
+			obs.Labels{"scale": s}),
+		points: reg.Counter("hotnoc_points_evaluated_total",
+			"Grid points evaluated by the thermal stage.",
+			obs.Labels{"scale": s}),
+	}
+}
+
+// buildDone records one classified build resolution. Only cold builds
+// observe latency: a hit's disk-or-memory load says nothing about the
+// annealing cost the histogram tracks.
+func (m *metrics) buildDone(hit bool, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.buildHits.Inc()
+	} else {
+		m.buildMisses.Inc()
+		m.buildSeconds.Observe(d.Seconds())
+	}
+}
+
+// charDone records one classified characterization resolution; cold
+// orbits observe latency.
+func (m *metrics) charDone(hit bool, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.charHits.Inc()
+	} else {
+		m.charMisses.Inc()
+		m.charSeconds.Observe(d.Seconds())
+	}
+}
+
+// evaluateDone records one thermal evaluation. This runs once per grid
+// point on the hot path; it is allocation-free.
+func (m *metrics) evaluateDone(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.points.Inc()
+	m.evalSeconds.Observe(d.Seconds())
+}
+
+// addDecodes accumulates engine decodes from one characterization.
+func (m *metrics) addDecodes(n uint64) {
+	if m == nil {
+		return
+	}
+	m.decodes.Add(n)
+}

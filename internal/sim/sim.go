@@ -23,9 +23,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hotnoc/internal/chipcfg"
 	"hotnoc/internal/core"
+	"hotnoc/obs"
 )
 
 // Kind discriminates the experiment a grid point runs: the paper's
@@ -162,6 +164,12 @@ type Options struct {
 	// the sweep pipeline advances. Delivery is serialized; the callback
 	// must not block for long and must not call back into the runner.
 	Progress func(Event)
+	// Metrics, when set, registers the runner's pipeline instruments on
+	// this registry — stage-latency histograms, cache hit/miss counters,
+	// decode and point counters, all labeled by scale — and records into
+	// them as sweeps run. Recording is allocation-free; several runners
+	// (one per scale) may share one registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +190,7 @@ type Runner struct {
 	opts   Options
 	builds *BuildCache
 	chars  *CharCache
+	met    *metrics
 
 	// decodes counts engine block decodes performed on behalf of this
 	// runner — the unit of expensive NoC work. A fully cache-served sweep
@@ -223,6 +232,7 @@ func NewRunner(opts Options) *Runner {
 		opts:          opts,
 		builds:        NewBuildCache(opts.CacheDir, opts.CacheLimit),
 		chars:         NewCharCache(opts.CacheDir, opts.CacheLimit),
+		met:           newMetrics(opts.Metrics, opts.Scale),
 		emittedBuilds: map[BuildKey]bool{},
 		countedBuilds: map[BuildKey]bool{},
 	}
@@ -309,6 +319,7 @@ func (r *Runner) builtFor(config string, prog func(Event)) (*chipcfg.Built, erro
 	if first {
 		emit(prog, Event{Stage: StageBuildStart, Config: config, Scale: r.opts.Scale, Point: -1})
 	}
+	start := time.Now()
 	built, hit, err := r.builds.Get(config, r.opts.Scale)
 	if err != nil {
 		r.buildAccountMu.Lock()
@@ -328,6 +339,7 @@ func (r *Runner) builtFor(config string, prog func(Event)) (*chipcfg.Built, erro
 		} else {
 			r.buildMisses.Add(1)
 		}
+		r.met.buildDone(hit, time.Since(start))
 		emit(prog, Event{Stage: StageBuildDone, Config: config, Scale: r.opts.Scale, Point: -1,
 			CacheHit: hit})
 	}
@@ -376,6 +388,7 @@ func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event), se
 	}
 	key := CharKey{Config: config, Scheme: scheme.Name, Scale: r.opts.Scale}
 	account := seen.first(key)
+	start := time.Now()
 	data, hit, err := r.chars.Get(key, built.System.Grid.N(), func() (*core.CharData, error) {
 		emit(prog, Event{Stage: StageCharacterizeStart, Config: config, Scale: r.opts.Scale,
 			Scheme: scheme.Name, Point: -1})
@@ -387,6 +400,7 @@ func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event), se
 		}
 		ch, err := sys.Characterize(scheme)
 		r.decodes.Add(sys.Engine.Decodes)
+		r.met.addDecodes(sys.Engine.Decodes)
 		if err != nil {
 			return nil, err
 		}
@@ -401,6 +415,7 @@ func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event), se
 		} else {
 			r.charMisses.Add(1)
 		}
+		r.met.charDone(hit, time.Since(start))
 		emit(prog, Event{Stage: StageCharacterizeDone, Config: config, Scale: r.opts.Scale,
 			Scheme: scheme.Name, Point: -1, CacheHit: hit})
 	}
@@ -612,6 +627,7 @@ func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome
 		}
 		p := pts[idx]
 		o := Outcome{Point: p, Built: built}
+		evalStart := time.Now()
 		switch p.Kind() {
 		case KindReactive:
 			cfg := *p.Reactive
@@ -636,6 +652,7 @@ func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome
 			}
 			o.Result = res
 		}
+		r.met.evaluateDone(time.Since(evalStart))
 		out[idx] = o
 		close(ready[idx])
 		emit(prog, Event{Stage: StageEvaluateDone, Config: p.Config, Scale: r.opts.Scale,

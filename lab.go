@@ -5,6 +5,7 @@ import (
 	"iter"
 
 	"hotnoc/internal/sim"
+	"hotnoc/obs"
 )
 
 // Event is one progress notification from a Lab's pipeline; see the
@@ -73,6 +74,17 @@ func WithCacheDir(dir string) LabOption {
 // must not block for long.
 func WithProgress(fn func(Event)) LabOption {
 	return func(o *sim.Options) { o.Progress = fn }
+}
+
+// WithMetrics registers the Lab's pipeline instruments on reg — stage
+// latency histograms (build/characterize/evaluate), cache hit/miss
+// counters, decode and evaluated-point counters, all labeled with the
+// Lab's scale — and records into them as sweeps run. Recording is
+// allocation-free on the per-point evaluate path. Several Labs (one per
+// scale) may share one registry; the hotnocd daemon serves such a
+// registry on GET /metrics.
+func WithMetrics(reg *obs.Registry) LabOption {
+	return func(o *sim.Options) { o.Metrics = reg }
 }
 
 // WithCacheLimit bounds the number of files of each cache artifact kind

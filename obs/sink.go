@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink receives periodic batches of samples. Implementations own their
+// transport (a log file, a push gateway, a time-series database); the
+// Batcher owns the cadence. Flush is never called concurrently by one
+// Batcher, but a Sink shared across batchers must synchronize itself.
+type Sink interface {
+	// Flush writes one gathered batch. The slice is only valid for the
+	// duration of the call.
+	Flush(samples []Sample) error
+	// Close releases transport resources after the final flush.
+	Close() error
+}
+
+// LogSink writes each batch as one JSON line, timestamped, suitable for
+// tailing or shipping with any log pipeline:
+//
+//	{"ts":"2026-08-08T12:00:00Z","samples":[{"name":...,"value":...},...]}
+type LogSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewLogSink wraps w. The sink does not close w unless it is an
+// io.Closer, in which case Close forwards to it.
+func NewLogSink(w io.Writer) *LogSink {
+	return &LogSink{w: w, enc: json.NewEncoder(w)}
+}
+
+type logBatch struct {
+	TS      string   `json:"ts"`
+	Samples []Sample `json:"samples"`
+}
+
+// Flush writes the batch as one line.
+func (s *LogSink) Flush(samples []Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(logBatch{TS: time.Now().UTC().Format(time.RFC3339), Samples: samples})
+}
+
+// Close closes the underlying writer when it supports closing.
+func (s *LogSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Batcher periodically gathers a registry and flushes the batch to
+// every sink. One goroutine drives all sinks; a slow sink delays the
+// others rather than piling up goroutines.
+type Batcher struct {
+	reg      *Registry
+	sinks    []Sink
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// NewBatcher starts the flush loop. interval <= 0 defaults to 15s.
+func NewBatcher(reg *Registry, interval time.Duration, sinks ...Sink) *Batcher {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	b := &Batcher{
+		reg:      reg,
+		sinks:    sinks,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+func (b *Batcher) loop() {
+	defer close(b.done)
+	t := time.NewTicker(b.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			b.Flush()
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// Flush gathers and pushes one batch immediately. Errors from
+// individual sinks are dropped after the first is captured; metrics
+// export must never take the service down.
+func (b *Batcher) Flush() error {
+	samples := b.reg.Gather()
+	var first error
+	for _, s := range b.sinks {
+		if err := s.Flush(samples); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops the loop, performs a final flush, and closes every sink.
+// Safe to call more than once.
+func (b *Batcher) Close() error {
+	var err error
+	b.once.Do(func() {
+		close(b.stop)
+		<-b.done
+		err = b.Flush()
+		for _, s := range b.sinks {
+			if cerr := s.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}

@@ -3,10 +3,11 @@
 # thermal-kernel benchmarks (with -benchmem) plus a one-iteration
 # paper-scale pass, writes BENCH_<pr>.json at the repo root with ns/op,
 # B/op and allocs/op per benchmark, and fails if any of the hot loops
-# pinned at zero allocations (SteadySolve, TransientStep, CycleLoopStep)
-# reports a nonzero allocs/op.
+# pinned at zero allocations (SteadySolve, TransientStep, CycleLoopStep,
+# plus the obs recording paths HistogramObserve and CounterInc) reports
+# a nonzero allocs/op.
 #
-# Usage: bench.sh [pr-number]        (default 6)
+# Usage: bench.sh [pr-number]        (default 9)
 # Env:   BENCHTIME=100x|1s|...       thermal benchtime (default 1s)
 #        SKIP_PAPER=1                skip the paper-scale benchmarks
 #        BENCH_OUT=path              output path (default BENCH_<pr>.json)
@@ -14,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PR="${1:-6}"
+PR="${1:-9}"
 OUT="${BENCH_OUT:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 SKIP_PAPER="${SKIP_PAPER:-0}"
@@ -26,6 +27,10 @@ echo "== thermal kernel benchmarks (benchtime $BENCHTIME)"
 go test -run '^$' \
     -bench '^(BenchmarkFactor|BenchmarkFactorBanded|BenchmarkSteadySolve|BenchmarkSteadySolveDense|BenchmarkSteadySolveBatch|BenchmarkInfluenceBuild|BenchmarkTransientStep|BenchmarkCycleLoopStep|BenchmarkRunCycle|BenchmarkEvaluateCycle)$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/thermal | tee -a "$TMP"
+
+echo "== obs recording benchmarks (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^(BenchmarkHistogramObserve|BenchmarkCounterInc)$' \
+    -benchmem -benchtime "$BENCHTIME" ./obs | tee -a "$TMP"
 
 if [ "$SKIP_PAPER" != 1 ]; then
     echo "== paper-scale trajectory (1 iteration)"
@@ -56,13 +61,14 @@ echo "== alloc guard (hot loops pinned at 0 allocs/op)"
 awk '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    if (name != "BenchmarkSteadySolve" && name != "BenchmarkTransientStep" && name != "BenchmarkCycleLoopStep") next
+    if (name != "BenchmarkSteadySolve" && name != "BenchmarkTransientStep" && name != "BenchmarkCycleLoopStep" &&
+        name != "BenchmarkHistogramObserve" && name != "BenchmarkCounterInc") next
     seen++
     for (i = 2; i <= NF; i++)
         if ($i == "allocs/op" && $(i-1) + 0 != 0) { print "FAIL: " name " reports " $(i-1) " allocs/op"; bad = 1 }
 }
 END {
-    if (seen < 3) { print "FAIL: pinned benchmarks missing from bench output"; exit 1 }
+    if (seen < 5) { print "FAIL: pinned benchmarks missing from bench output"; exit 1 }
     if (bad) exit 1
     print "ok: all pinned hot loops at 0 allocs/op"
 }

@@ -12,8 +12,8 @@ echo "== go vet" && go vet ./...
 echo "== go test" && go test ./...
 echo "== thermal differential (banded vs dense reference, batched, singular)" \
     && go test -count=1 -run 'TestBanded|TestSteadySolveBatch|TestHotLoopsAllocationFree' ./internal/thermal
-echo "== go test -race (cache + streaming + service + thermal concurrency)" \
-    && go test -race ./internal/sim ./internal/core ./internal/thermal ./server .
+echo "== go test -race (cache + streaming + service + thermal + obs concurrency)" \
+    && go test -race ./internal/sim ./internal/core ./internal/thermal ./server ./server/fleet ./obs .
 echo "== service smoke (hotnocd + figure1/hotsim -server)" && sh scripts/service_smoke.sh
 
 if command -v staticcheck >/dev/null 2>&1; then
@@ -22,8 +22,8 @@ else
     echo "== staticcheck not installed; skipping (CI runs it)"
 fi
 
-echo "== bench smoke (internal packages, 1 iteration)"
-go test -run '^$' -bench=. -benchtime=1x ./internal/...
+echo "== bench smoke (internal packages + obs, 1 iteration)"
+go test -run '^$' -bench=. -benchtime=1x ./internal/... ./obs
 
 echo "== bench smoke (warm build reconstitution, 1 iteration)"
 go test -run '^$' -bench 'BenchmarkBuildWarm' -benchtime=1x .

@@ -14,12 +14,19 @@
 # exercises the multi-tenant surface: unauthenticated submissions are
 # 401, an authenticated figure1 -server run stays byte-identical to the
 # in-process run, an over-rate tenant gets 429 + Retry-After, and the
-# rejection shows up in that tenant's /v1/stats accounting. Finally it
+# rejection shows up in that tenant's /v1/stats accounting. On the same
+# tenants daemon it exercises the observability surface: /metrics must
+# expose the stage-latency histograms, per-tenant job counters and the
+# throttled tenant's exact rejection count, and a background 5-point
+# sweep polled through GET /v1/jobs/{id} must report points_done
+# advancing through intermediate values to completion. Finally it
 # rebuilds the service as a fleet — a coordinator with two joined
 # workers on cold, separate cache dirs — and requires the sharded
 # figure1 run to stay byte-identical to the in-process run while the
 # aggregated /v1/stats show every characterization and build computed
-# exactly once fleet-wide. CI runs this as the service-smoke job;
+# exactly once fleet-wide — and the coordinator's /metrics carries the
+# same exactly-once counters as monotonic fleet series plus a non-empty
+# queue-wait histogram. CI runs this as the service-smoke job;
 # check.sh mirrors it locally.
 set -eu
 
@@ -181,8 +188,11 @@ cat >"$workdir/tenants.json" <<EOF
   ]
 }
 EOF
+# -workers 1 serializes the Lab pipeline so the progress poll below
+# deterministically observes points completing one at a time; the
+# figure1 run on this daemon is fully cache-warm, so it costs nothing.
 "$workdir/hotnocd" -addr "$addr" -cache-dir "$workdir/cache" \
-    -tenants "$workdir/tenants.json" >"$workdir/daemon3.log" 2>&1 &
+    -tenants "$workdir/tenants.json" -workers 1 >"$workdir/daemon3.log" 2>&1 &
 daemon_pid=$!
 
 i=0
@@ -283,6 +293,98 @@ case "$stats" in
     ;;
 esac
 
+echo "== /metrics exposition on the tenants daemon"
+# /metrics is unauthenticated like /healthz — a scraper needs no tenant
+# key. The ci tenant ran figure1 (A,E x 5 schemes) and the throttled
+# tenant holds exactly one accepted job and one 429.
+metrics=$(fetch "http://$addr/metrics")
+echo "$metrics" >"$workdir/metrics.txt"
+for want in \
+    '# TYPE hotnoc_stage_seconds histogram' \
+    'hotnoc_stage_seconds_count{scale="8",stage="evaluate"}' \
+    '# TYPE hotnocd_queue_wait_seconds histogram' \
+    'hotnocd_jobs_total{state="done",tenant="ci"}' \
+    'hotnocd_submissions_rejected_total{tenant="throttled"} 1'; do
+    case "$metrics" in
+    *"$want"*) ;;
+    *)
+        echo "service smoke: /metrics is missing '$want'" >&2
+        exit 1
+        ;;
+    esac
+done
+
+echo "== live job introspection: points_done advances on a running sweep"
+# Config B is absent from the warm cache, so its build and five
+# characterizations give the poll loop real work to watch.
+progress_body='{"scale":8,"points":[
+  {"config":"B","scheme":"rot","blocks":1},
+  {"config":"B","scheme":"x mirror","blocks":1},
+  {"config":"B","scheme":"x-y mirror","blocks":1},
+  {"config":"B","scheme":"right shift","blocks":1},
+  {"config":"B","scheme":"x-y shift","blocks":1}]}'
+if command -v curl >/dev/null 2>&1; then
+    created=$(curl -fsS -H "Authorization: Bearer $ci_key" \
+        -H 'Content-Type: application/json' -d "$progress_body" "http://$addr/v1/sweeps")
+else
+    created=$(wget -qO- --header "Authorization: Bearer $ci_key" \
+        --header 'Content-Type: application/json' \
+        --post-data "$progress_body" "http://$addr/v1/sweeps")
+fi
+job_id=$(printf '%s' "$created" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$job_id" ]; then
+    echo "service smoke: progress sweep submission returned no job id: $created" >&2
+    exit 1
+fi
+
+fetch_job() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -H "Authorization: Bearer $ci_key" "http://$addr/v1/jobs/$job_id"
+    else
+        wget -qO- --header "Authorization: Bearer $ci_key" "http://$addr/v1/jobs/$job_id"
+    fi
+}
+prev=-1
+advances=0
+final_done=0
+i=0
+while [ "$i" -lt 3000 ]; do
+    info=$(fetch_job)
+    done_n=$(printf '%s' "$info" | sed -n 's/.*"points_done":\([0-9]*\).*/\1/p')
+    [ -z "$done_n" ] && done_n=0
+    if [ "$done_n" -lt "$prev" ]; then
+        echo "service smoke: points_done regressed $prev -> $done_n: $info" >&2
+        exit 1
+    fi
+    if [ "$prev" -ge 0 ] && [ "$done_n" -gt "$prev" ]; then
+        advances=$((advances + 1))
+    fi
+    prev=$done_n
+    case "$info" in
+    *'"state":"done"'*)
+        final_done=$done_n
+        break
+        ;;
+    *'"state":"failed"'* | *'"state":"canceled"'*)
+        echo "service smoke: progress sweep ended badly: $info" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    sleep 0.02
+done
+if [ "$final_done" != 5 ]; then
+    echo "service smoke: progress sweep never finished with 5 points (last: $prev)" >&2
+    exit 1
+fi
+# "Advancing" means the poll caught points_done strictly increasing more
+# than once — an intermediate value between 0 and 5, not just the jump
+# to the terminal snapshot.
+if [ "$advances" -lt 2 ]; then
+    echo "service smoke: points_done never advanced through intermediate values (advances=$advances)" >&2
+    exit 1
+fi
+
 echo "== restarting as a fleet: coordinator + 2 workers"
 kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
@@ -359,4 +461,30 @@ if [ "$n" -ne 2 ]; then
     exit 1
 fi
 
-echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim + warm daemon restart: 0 builds, 0 decodes + tenants: 401/429/per-tenant stats + fleet: byte-identical shard merge, exactly-once artifacts)"
+echo "== coordinator /metrics: monotonic fleet counters + queue-wait histogram"
+# The scrape triggers the coordinator's worker-stats aggregation, so the
+# fleet series must show the same exactly-once totals as /v1/stats.
+fmetrics=$(fetch "http://$addr/metrics")
+echo "$fmetrics" >"$workdir/fleet_metrics.txt"
+for want in \
+    'hotnocd_fleet_cache_misses_total 10' \
+    'hotnocd_fleet_build_misses_total 2' \
+    'hotnocd_fleet_workers 2' \
+    'hotnocd_fleet_worker_cache_misses_total{worker="'; do
+    case "$fmetrics" in
+    *"$want"*) ;;
+    *)
+        echo "service smoke: coordinator /metrics is missing '$want'" >&2
+        echo "$fmetrics" >&2
+        exit 1
+        ;;
+    esac
+done
+qwait=$(printf '%s\n' "$fmetrics" |
+    awk '/^hotnocd_queue_wait_seconds_count /{print $2}')
+if [ -z "$qwait" ] || [ "$qwait" -lt 1 ]; then
+    echo "service smoke: coordinator queue-wait histogram is empty (count='$qwait')" >&2
+    exit 1
+fi
+
+echo "service smoke ok (byte-identical local/remote figure1 + reactive hotsim + warm daemon restart: 0 builds, 0 decodes + tenants: 401/429/per-tenant stats + observability: /metrics histograms, exact per-tenant counters, advancing points_done + fleet: byte-identical shard merge, exactly-once artifacts, monotonic fleet metrics)"

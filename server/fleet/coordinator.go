@@ -91,10 +91,27 @@ type Coordinator struct {
 	builds map[buildKey]string
 	chars  map[charKey]string
 
+	// ledger accumulates worker counters monotonically across lease
+	// expiry and re-registration; see statsLedger.
+	ledger *statsLedger
+
+	// onEvent observes fleet membership changes (worker joined / left)
+	// for the server's diagnostics stream. Called with c.mu held — it
+	// must be a leaf that never calls back into the coordinator.
+	onEvent func(typ, workerID, url, reason string)
+
 	// now and onExpire are test seams: the registry clock, and an
 	// observer of worker expiry.
 	now      func() time.Time
 	onExpire func(id, reason string)
+}
+
+// SetEventHook installs an observer of fleet membership events: typ is
+// wire.DiagWorkerJoined or wire.DiagWorkerLeft, reason is non-empty
+// only on departures. The hook runs with coordinator state locked, so
+// it must not call back into the Coordinator. Set it before serving.
+func (c *Coordinator) SetEventHook(fn func(typ, workerID, url, reason string)) {
+	c.onEvent = fn
 }
 
 // NewCoordinator returns an empty fleet; workers join via Register or
@@ -106,6 +123,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		byURL:   map[string]*Worker{},
 		builds:  map[buildKey]string{},
 		chars:   map[charKey]string{},
+		ledger:  newStatsLedger(),
 		now:     time.Now,
 	}
 }
@@ -384,11 +402,16 @@ func (c *Coordinator) Placement(ctx context.Context, config string, scale int) (
 	return client.New(w.url, client.WithScale(scale)).Placement(ctx, config)
 }
 
-// FleetStats aggregates /v1/stats across the fleet: per-scale Lab
-// counters summed over every reachable worker (decodes, characterization
-// and build cache hits/misses, pool utilization) and worker tenant
-// tables summed by tenant id. Workers that fail to answer within the
-// stats timeout contribute nothing but stay listed in Workers().
+// FleetStats aggregates /v1/stats across the fleet. Counter-class
+// fields (decodes, characterization and build cache hits/misses,
+// finished/failed/rejected jobs, points served) come from the
+// coordinator's monotonic ledger, so they never regress when a worker
+// restarts, re-registers under a fresh id, or is temporarily
+// unreachable — the departed incarnation's work stays counted. Gauge
+// fields (pool size, busy workers, running/queued jobs) describe the
+// present and are summed over the workers that answered this fetch;
+// workers that miss the stats timeout contribute nothing to gauges but
+// stay listed in Workers().
 func (c *Coordinator) FleetStats(ctx context.Context) (labs []hotnoc.LabStats, tenants []wire.TenantStats) {
 	c.mu.Lock()
 	live := c.liveLocked()
@@ -415,44 +438,70 @@ func (c *Coordinator) FleetStats(ctx context.Context) (labs []hotnoc.LabStats, t
 	}
 	wg.Wait()
 
+	// Fold this round's successful fetches into the monotonic ledger,
+	// then assemble: gauges from the round, counters from the ledger.
 	byScale := map[int]*hotnoc.LabStats{}
-	var scales []int
 	byTenant := map[string]*wire.TenantStats{}
-	var tenantIDs []string
 	for i := range results {
 		if !oks[i] {
 			continue
 		}
+		c.ledger.observe(urls[i], results[i])
 		for _, ls := range results[i].Labs {
 			agg, ok := byScale[ls.Scale]
 			if !ok {
 				agg = &hotnoc.LabStats{Scale: ls.Scale}
 				byScale[ls.Scale] = agg
-				scales = append(scales, ls.Scale)
 			}
 			agg.Workers += ls.Workers
 			agg.BusyWorkers += ls.BusyWorkers
-			agg.Decodes += ls.Decodes
-			agg.CacheHits += ls.CacheHits
-			agg.CacheMisses += ls.CacheMisses
-			agg.BuildHits += ls.BuildHits
-			agg.BuildMisses += ls.BuildMisses
 		}
 		for _, ts := range results[i].Tenants {
 			agg, ok := byTenant[ts.ID]
 			if !ok {
 				agg = &wire.TenantStats{ID: ts.ID, Weight: ts.Weight}
 				byTenant[ts.ID] = agg
-				tenantIDs = append(tenantIDs, ts.ID)
 			}
 			agg.Running += ts.Running
 			agg.Queued += ts.Queued
-			agg.Done += ts.Done
-			agg.Failed += ts.Failed
-			agg.Canceled += ts.Canceled
-			agg.Rejected += ts.Rejected
-			agg.Points += ts.Points
 		}
+	}
+	labTotals := c.ledger.labTotals()
+	var scales []int
+	for scale, ct := range labTotals {
+		agg, ok := byScale[scale]
+		if !ok {
+			agg = &hotnoc.LabStats{Scale: scale}
+			byScale[scale] = agg
+		}
+		agg.Decodes = ct.decodes
+		agg.CacheHits = ct.cacheHits
+		agg.CacheMisses = ct.cacheMisses
+		agg.BuildHits = ct.buildHits
+		agg.BuildMisses = ct.buildMisses
+	}
+	for scale := range byScale {
+		scales = append(scales, scale)
+	}
+	tnTotals, weights := c.ledger.tenantTotals()
+	var tenantIDs []string
+	for id, ct := range tnTotals {
+		agg, ok := byTenant[id]
+		if !ok {
+			agg = &wire.TenantStats{ID: id}
+			byTenant[id] = agg
+		}
+		agg.Done = ct.done
+		agg.Failed = ct.failed
+		agg.Canceled = ct.canceled
+		agg.Rejected = ct.rejected
+		agg.Points = ct.points
+		if w, ok := weights[id]; ok {
+			agg.Weight = w
+		}
+	}
+	for id := range byTenant {
+		tenantIDs = append(tenantIDs, id)
 	}
 	sort.Ints(scales)
 	for _, s := range scales {

@@ -87,6 +87,9 @@ func (c *Coordinator) registerLocked(url string, capacity int) *Worker {
 	w.timer = time.AfterFunc(c.lease(), func() { c.expireWorker(id, "lease expired") })
 	c.workers[w.id] = w
 	c.byURL[url] = w
+	if c.onEvent != nil {
+		c.onEvent(wire.DiagWorkerJoined, w.id, w.url, "")
+	}
 	return w
 }
 
@@ -118,6 +121,9 @@ func (c *Coordinator) expireWorker(id, reason string) {
 		if owner == id {
 			delete(c.chars, k)
 		}
+	}
+	if c.onEvent != nil {
+		c.onEvent(wire.DiagWorkerLeft, id, w.url, reason)
 	}
 	if c.onExpire != nil {
 		c.onExpire(id, reason)

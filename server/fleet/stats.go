@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"hotnoc"
+	"hotnoc/obs"
+	"hotnoc/server/wire"
+)
+
+// statsLedger makes the fleet's aggregated counters monotonic across
+// worker restarts. A worker that loses its lease and re-registers (or
+// crashes and comes back) reports counters that restarted from zero; a
+// naive sum over live workers would make the fleet totals go *down*,
+// which breaks anything rate()-ing them. The ledger keys on worker URL
+// — the stable identity across re-registration, since coordinator ids
+// change on every rejoin — and keeps, per URL, an accumulated base from
+// previous incarnations plus the latest snapshot of the current one.
+// When a snapshot's counters regress, the previous snapshot is folded
+// into the base (the old incarnation's final contribution) and the new
+// snapshot starts the next incarnation. Totals are Σ(base + last) over
+// every URL ever observed, so a departed worker's work stays counted.
+//
+// Only counter-class fields live here. Gauges (pool sizes, busy
+// workers, running/queued jobs) describe the present and must come from
+// the workers currently reachable, not from history.
+type statsLedger struct {
+	mu    sync.Mutex
+	byURL map[string]*urlLedger
+	// tnWeight is the most recently observed weight per tenant, across
+	// all workers — weight is configuration, not a counter, so the last
+	// report wins regardless of which worker it came from.
+	tnWeight map[string]int
+}
+
+// labCounters is the counter-class slice of hotnoc.LabStats.
+type labCounters struct {
+	decodes     uint64
+	cacheHits   uint64
+	cacheMisses uint64
+	buildHits   uint64
+	buildMisses uint64
+}
+
+func (a labCounters) add(b labCounters) labCounters {
+	a.decodes += b.decodes
+	a.cacheHits += b.cacheHits
+	a.cacheMisses += b.cacheMisses
+	a.buildHits += b.buildHits
+	a.buildMisses += b.buildMisses
+	return a
+}
+
+// regressed reports whether cur lost ground against prev — the restart
+// signature (every field is monotonic within one worker process).
+func (cur labCounters) regressed(prev labCounters) bool {
+	return cur.decodes < prev.decodes ||
+		cur.cacheHits < prev.cacheHits || cur.cacheMisses < prev.cacheMisses ||
+		cur.buildHits < prev.buildHits || cur.buildMisses < prev.buildMisses
+}
+
+func labCountersOf(ls hotnoc.LabStats) labCounters {
+	return labCounters{
+		decodes:     ls.Decodes,
+		cacheHits:   ls.CacheHits,
+		cacheMisses: ls.CacheMisses,
+		buildHits:   ls.BuildHits,
+		buildMisses: ls.BuildMisses,
+	}
+}
+
+// tenantCounters is the counter-class slice of wire.TenantStats.
+type tenantCounters struct {
+	done     int
+	failed   int
+	canceled int
+	rejected int
+	points   int64
+}
+
+func (a tenantCounters) add(b tenantCounters) tenantCounters {
+	a.done += b.done
+	a.failed += b.failed
+	a.canceled += b.canceled
+	a.rejected += b.rejected
+	a.points += b.points
+	return a
+}
+
+func (cur tenantCounters) regressed(prev tenantCounters) bool {
+	return cur.done < prev.done || cur.failed < prev.failed ||
+		cur.canceled < prev.canceled || cur.rejected < prev.rejected ||
+		cur.points < prev.points
+}
+
+func tenantCountersOf(ts wire.TenantStats) tenantCounters {
+	return tenantCounters{
+		done:     ts.Done,
+		failed:   ts.Failed,
+		canceled: ts.Canceled,
+		rejected: ts.Rejected,
+		points:   ts.Points,
+	}
+}
+
+// urlLedger is one worker URL's accumulation state.
+type urlLedger struct {
+	labBase map[int]labCounters // accumulated from dead incarnations, by scale
+	labLast map[int]labCounters // latest snapshot of the live incarnation
+
+	tnBase map[string]tenantCounters
+	tnLast map[string]tenantCounters
+}
+
+func newStatsLedger() *statsLedger {
+	return &statsLedger{byURL: map[string]*urlLedger{}, tnWeight: map[string]int{}}
+}
+
+// observe folds one successfully fetched worker stats snapshot into the
+// ledger. Restart detection is per scale (and per tenant): a regression
+// in any counter means the worker restarted since the previous
+// snapshot, so the previous snapshot — the old incarnation's final
+// observed state — is banked into the base.
+func (l *statsLedger) observe(url string, st wire.Stats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ul, ok := l.byURL[url]
+	if !ok {
+		ul = &urlLedger{
+			labBase: map[int]labCounters{}, labLast: map[int]labCounters{},
+			tnBase: map[string]tenantCounters{}, tnLast: map[string]tenantCounters{},
+		}
+		l.byURL[url] = ul
+	}
+	for _, ls := range st.Labs {
+		cur := labCountersOf(ls)
+		if prev, seen := ul.labLast[ls.Scale]; seen && cur.regressed(prev) {
+			ul.labBase[ls.Scale] = ul.labBase[ls.Scale].add(prev)
+		}
+		ul.labLast[ls.Scale] = cur
+	}
+	for _, ts := range st.Tenants {
+		cur := tenantCountersOf(ts)
+		if prev, seen := ul.tnLast[ts.ID]; seen && cur.regressed(prev) {
+			ul.tnBase[ts.ID] = ul.tnBase[ts.ID].add(prev)
+		}
+		ul.tnLast[ts.ID] = cur
+		l.tnWeight[ts.ID] = ts.Weight
+	}
+}
+
+// labTotals returns the fleet-wide monotonic counters per scale, summed
+// over every URL ever observed.
+func (l *statsLedger) labTotals() map[int]labCounters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[int]labCounters{}
+	for _, ul := range l.byURL {
+		for scale, last := range ul.labLast {
+			out[scale] = out[scale].add(ul.labBase[scale]).add(last)
+		}
+		for scale, base := range ul.labBase {
+			if _, ok := ul.labLast[scale]; !ok {
+				out[scale] = out[scale].add(base)
+			}
+		}
+	}
+	return out
+}
+
+// tenantTotals returns the fleet-wide monotonic tenant counters and the
+// most recently observed weight per tenant.
+func (l *statsLedger) tenantTotals() (map[string]tenantCounters, map[string]int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[string]tenantCounters{}
+	weights := map[string]int{}
+	for _, ul := range l.byURL {
+		for id, last := range ul.tnLast {
+			out[id] = out[id].add(ul.tnBase[id]).add(last)
+		}
+		for id, base := range ul.tnBase {
+			if _, ok := ul.tnLast[id]; !ok {
+				out[id] = out[id].add(base)
+			}
+		}
+	}
+	for id, w := range l.tnWeight {
+		weights[id] = w
+	}
+	return out, weights
+}
+
+// perWorker returns each observed worker URL's monotonic counters,
+// summed over scales, sorted by URL — the per-worker series on the
+// coordinator's /metrics.
+func (l *statsLedger) perWorker() (urls []string, counters []labCounters) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for url := range l.byURL {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	counters = make([]labCounters, len(urls))
+	for i, url := range urls {
+		ul := l.byURL[url]
+		var sum labCounters
+		for scale, last := range ul.labLast {
+			sum = sum.add(ul.labBase[scale]).add(last)
+		}
+		for scale, base := range ul.labBase {
+			if _, ok := ul.labLast[scale]; !ok {
+				sum = sum.add(base)
+			}
+		}
+		counters[i] = sum
+	}
+	return urls, counters
+}
+
+// RefreshStats fetches and folds in every reachable worker's stats,
+// updating the ledger the metrics collector reads. The coordinator's
+// /metrics handler calls it per scrape, making the scrape the fleet's
+// natural aggregation trigger.
+func (c *Coordinator) RefreshStats(ctx context.Context) {
+	c.FleetStats(ctx)
+}
+
+// MetricsCollector returns an obs.Collector contributing the fleet's
+// aggregate view to a coordinator's registry at scrape time: monotonic
+// per-worker-labeled counters (by worker URL — stable across lease
+// expiry and re-registration), fleet-wide monotonic sums, and the live
+// worker-count gauge.
+func (c *Coordinator) MetricsCollector() obs.Collector {
+	counter := func(name, help, worker string, v uint64) obs.Sample {
+		s := obs.Sample{Name: name, Type: obs.TypeCounter, Help: help, Value: float64(v)}
+		if worker != "" {
+			s.Labels = obs.Labels{"worker": worker}
+		}
+		return s
+	}
+	return func(emit func(obs.Sample)) {
+		urls, counters := c.ledger.perWorker()
+		var total labCounters
+		for i, url := range urls {
+			ct := counters[i]
+			total = total.add(ct)
+			emit(counter("hotnocd_fleet_worker_decodes_total", "Engine decodes per fleet worker (monotonic across restarts).", url, ct.decodes))
+			emit(counter("hotnocd_fleet_worker_cache_hits_total", "Characterization cache hits per fleet worker.", url, ct.cacheHits))
+			emit(counter("hotnocd_fleet_worker_cache_misses_total", "Characterization cache misses per fleet worker.", url, ct.cacheMisses))
+			emit(counter("hotnocd_fleet_worker_build_hits_total", "Build cache hits per fleet worker.", url, ct.buildHits))
+			emit(counter("hotnocd_fleet_worker_build_misses_total", "Build cache misses per fleet worker.", url, ct.buildMisses))
+		}
+		emit(counter("hotnocd_fleet_decodes_total", "Fleet-wide engine decodes (monotonic across worker restarts).", "", total.decodes))
+		emit(counter("hotnocd_fleet_cache_hits_total", "Fleet-wide characterization cache hits.", "", total.cacheHits))
+		emit(counter("hotnocd_fleet_cache_misses_total", "Fleet-wide characterization cache misses.", "", total.cacheMisses))
+		emit(counter("hotnocd_fleet_build_hits_total", "Fleet-wide build cache hits.", "", total.buildHits))
+		emit(counter("hotnocd_fleet_build_misses_total", "Fleet-wide build cache misses.", "", total.buildMisses))
+		emit(obs.Sample{Name: "hotnocd_fleet_workers", Type: obs.TypeGauge,
+			Help: "Live fleet workers.", Value: float64(c.WorkerCount())})
+	}
+}

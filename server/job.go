@@ -39,11 +39,15 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu         sync.Mutex
-	msgs       []message
-	notify     chan struct{}
-	state      string
-	done       int
+	mu     sync.Mutex
+	msgs   []message
+	notify chan struct{}
+	state  string
+	done   int
+	// stage is the pipeline stage the job most recently entered (build,
+	// characterize, evaluate) — live introspection for GET /v1/jobs/{id},
+	// meaningful only while running.
+	stage      string
 	errMsg     string
 	startedAt  time.Time
 	finishedAt time.Time
@@ -75,6 +79,15 @@ func (j *job) start() {
 	j.state = wire.JobRunning
 	j.startedAt = time.Now()
 	j.appendLocked(wire.EventState, data)
+}
+
+// setStage records the pipeline stage the job just entered. Cheaper
+// than an append — no event, no subscriber wakeup — because stage
+// changes are polled via job introspection, not streamed.
+func (j *job) setStage(stage string) {
+	j.mu.Lock()
+	j.stage = stage
+	j.mu.Unlock()
 }
 
 // append marshals v and adds it to the event log, waking subscribers.
@@ -146,6 +159,21 @@ func (j *job) stateNow() string {
 	return j.state
 }
 
+// doneNow returns how many outcomes the job has streamed.
+func (j *job) doneNow() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// errNow returns the job's terminal error message, empty while live or
+// on success.
+func (j *job) errNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
 // terminalAt returns when the job reached a terminal state, and false
 // while it is still queued or running. Retention measures a finished
 // job's age from this instant, not from creation.
@@ -160,7 +188,7 @@ func (j *job) terminalAt() (time.Time, bool) {
 func (j *job) snapshot() wire.JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return wire.JobInfo{
+	info := wire.JobInfo{
 		ID:         j.id,
 		State:      j.state,
 		Tenant:     j.tenant,
@@ -172,6 +200,10 @@ func (j *job) snapshot() wire.JobInfo {
 		FinishedAt: j.finishedAt,
 		Error:      j.errMsg,
 	}
+	if j.state == wire.JobRunning {
+		info.Stage = j.stage
+	}
+	return info
 }
 
 // next returns the log suffix starting at i, whether the log is complete

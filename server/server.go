@@ -69,6 +69,7 @@ import (
 	"time"
 
 	"hotnoc"
+	"hotnoc/obs"
 	"hotnoc/server/fleet"
 	"hotnoc/server/tenant"
 	"hotnoc/server/wire"
@@ -120,6 +121,19 @@ type Config struct {
 	// /v1/stats aggregates counters across the whole fleet. Tenancy,
 	// admission and weighted-fair scheduling stay coordinator-side.
 	Fleet *fleet.Coordinator
+	// Metrics, when non-nil, is the obs registry the daemon records into
+	// and serves on GET /metrics — share one to co-host the daemon with
+	// other instrumented subsystems in one process. Nil creates a
+	// private registry.
+	Metrics *obs.Registry
+	// DisableMetrics turns the metrics subsystem off entirely: no
+	// instruments are registered, the Labs record nothing, and GET
+	// /metrics is not routed.
+	DisableMetrics bool
+	// EventBuffer is the retention depth of the GET /v1/events
+	// diagnostics ring: how many lifecycle events a reconnecting
+	// subscriber can replay. Zero means 512.
+	EventBuffer int
 }
 
 // Server serves Lab sweeps over HTTP. Create one with New, mount it as an
@@ -151,12 +165,23 @@ type Server struct {
 	totalDur time.Duration
 	durCount int
 
+	// reg/met/diag are the observability subsystem: the metrics
+	// registry served on GET /metrics, the daemon's own instruments
+	// (nil when disabled), and the diagnostics ring behind GET
+	// /v1/events.
+	reg  *obs.Registry
+	met  *serverMetrics
+	diag *diagLog
+
 	// now is the admission clock, swappable in tests to make
 	// rate-limit behavior deterministic.
 	now func() time.Time
 	// dispatchHook, when set (tests), observes every dispatch in
 	// order: the scheduler-determinism probe.
 	dispatchHook func(jobID, tenantID string)
+	// sweepHook, when set (tests), replaces the execution backend —
+	// a deterministic fake sweep without Labs or workers.
+	sweepHook func(scale int) sweepFn
 }
 
 // maxScale bounds the client-supplied workload divisor. The paper runs at
@@ -176,6 +201,10 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = tenant.Open(tenant.Limits{})
 	}
+	obsReg := cfg.Metrics
+	if obsReg == nil {
+		obsReg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
@@ -183,9 +212,28 @@ func New(cfg Config) *Server {
 		labs:    map[int]*hotnoc.Lab{},
 		jobs:    map[string]*job{},
 		sched:   newSched(),
+		reg:     obsReg,
+		diag:    newDiagLog(cfg.EventBuffer),
 		now:     time.Now,
 	}
+	if !cfg.DisableMetrics {
+		s.met = newServerMetrics(obsReg)
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if fl := cfg.Fleet; fl != nil {
+		// Fleet membership changes join the diagnostics stream, and the
+		// coordinator's ledger contributes its per-worker aggregates to
+		// every scrape. The hook runs under the coordinator's lock and
+		// diag is a leaf, so the lock order stays acyclic.
+		fl.SetEventHook(func(typ, workerID, url, reason string) {
+			s.diag.emit(wire.DiagEvent{Type: typ, Worker: workerID, URL: url, Reason: reason})
+		})
+		if !cfg.DisableMetrics {
+			obsReg.Collect(fl.MetricsCollector())
+		}
+	}
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleCreateSweep)
+	s.mux.HandleFunc("GET /v1/events", s.handleDiagEvents)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -294,6 +342,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	// End the diagnostics stream first: /v1/events followers drain and
+	// return, so they cannot hold the HTTP server's own shutdown open.
+	s.diag.close()
 	done := make(chan struct{})
 	go func() {
 		s.jobsWG.Wait()
@@ -324,12 +375,19 @@ func (s *Server) labFor(scale int) *hotnoc.Lab {
 	defer s.mu.Unlock()
 	lab, ok := s.labs[scale]
 	if !ok {
-		lab = hotnoc.NewLab(
+		opts := []hotnoc.LabOption{
 			hotnoc.WithScale(scale),
 			hotnoc.WithWorkers(s.cfg.Workers),
 			hotnoc.WithCacheDir(s.cfg.CacheDir),
 			hotnoc.WithCacheLimit(s.cfg.CacheLimit),
-		)
+		}
+		if s.met != nil {
+			// Each scale's Lab registers its pipeline instruments
+			// (stage latencies, cache requests, evaluated points) in
+			// the daemon's registry, labeled by scale.
+			opts = append(opts, hotnoc.WithMetrics(s.reg))
+		}
+		lab = hotnoc.NewLab(opts...)
 		s.labs[scale] = lab
 	}
 	return lab
@@ -341,6 +399,9 @@ func (s *Server) labFor(scale int) *hotnoc.Lab {
 // coordinator instantiates no local Labs; all simulation happens on
 // workers.
 func (s *Server) sweepFor(scale int) sweepFn {
+	if s.sweepHook != nil {
+		return s.sweepHook(scale)
+	}
 	if fl := s.cfg.Fleet; fl != nil {
 		return func(ctx context.Context, pts []hotnoc.SweepPoint, progress func(hotnoc.Event)) iter.Seq2[hotnoc.SweepOutcome, error] {
 			return fl.Sweep(ctx, scale, pts, progress)
@@ -412,8 +473,11 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	// queues and the weighted-fair scheduler dispatches it later.
 	if ok, retry := ts.takeToken(s.now()); !ok {
 		ts.rejected++
+		s.met.rejected(ts.id)
 		s.mu.Unlock()
 		cancel()
+		s.diag.emit(wire.DiagEvent{Type: wire.DiagTenantThrottled, Tenant: cur.ID,
+			Reason: "submit rate exceeded"})
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
 			"tenant %q is over its %.3g jobs/sec submit rate", ts.id, ts.limits.RatePerSec)
@@ -421,8 +485,11 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if ts.limits.MaxQueued > 0 && len(ts.queue) >= ts.limits.MaxQueued {
 		ts.rejected++
+		s.met.rejected(ts.id)
 		s.mu.Unlock()
 		cancel()
+		s.diag.emit(wire.DiagEvent{Type: wire.DiagTenantThrottled, Tenant: cur.ID,
+			Reason: "queued-job bound reached"})
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests,
 			"tenant %q already has its maximum of %d jobs queued", ts.id, ts.limits.MaxQueued)
@@ -439,7 +506,15 @@ func (s *Server) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
 	// takes to set draining guarantees Shutdown's Wait sees this job —
 	// queued jobs included.
 	s.jobsWG.Add(1)
+	// Submitted before queued before dispatched: emitting under s.mu
+	// (diag is a leaf lock) keeps the lifecycle order intact even
+	// against a dispatch racing in from another job's completion.
+	s.diag.emit(wire.DiagEvent{Type: wire.DiagJobSubmitted, Tenant: cur.ID,
+		Job: id, Points: len(pts)})
 	s.sched.enqueue(ts, &queuedJob{j: j, sweep: sweep, pts: pts})
+	s.met.jobQueued(ts.id)
+	s.diag.emit(wire.DiagEvent{Type: wire.DiagJobQueued, Tenant: cur.ID,
+		Job: id, State: wire.JobQueued})
 	s.dispatchLocked()
 	created := wire.SweepCreated{ID: id, Points: len(pts), Tenant: cur.ID}
 	created.State = j.stateNow()
@@ -467,6 +542,9 @@ func (s *Server) dispatchLocked() {
 	for _, d := range s.sched.dispatch(slots) {
 		s.running++
 		d.qj.j.start()
+		s.met.jobDispatched(d.ts.id, time.Since(d.qj.j.createdAt))
+		s.diag.emit(wire.DiagEvent{Type: wire.DiagJobDispatched, Tenant: d.ts.id,
+			Job: d.qj.j.id, State: wire.JobRunning})
 		if s.dispatchHook != nil {
 			s.dispatchHook(d.qj.j.id, d.ts.id)
 		}
@@ -490,6 +568,9 @@ func (s *Server) terminateQueuedLocked(j *job) bool {
 	j.cancel()
 	j.fail(wire.JobCanceled, errors.New("canceled while queued"))
 	ts.canceled++
+	s.met.jobTerminatedQueued(ts.id, wire.JobCanceled)
+	s.diag.emit(wire.DiagEvent{Type: wire.DiagJobFinished, Tenant: j.tenant,
+		Job: j.id, State: wire.JobCanceled, Reason: "canceled while queued"})
 	s.jobsWG.Done()
 	return true
 }
@@ -505,10 +586,11 @@ func (s *Server) runJob(ts *tenantState, qj *queuedJob) {
 	started := time.Now()
 	defer s.jobsWG.Done()
 	defer func() {
+		state := j.stateNow()
 		s.mu.Lock()
 		s.running--
 		ts.running--
-		switch j.stateNow() {
+		switch state {
 		case wire.JobDone:
 			ts.done++
 			s.totalDur += time.Since(started)
@@ -521,12 +603,29 @@ func (s *Server) runJob(ts *tenantState, qj *queuedJob) {
 		s.pruneLocked(time.Now())
 		s.dispatchLocked()
 		s.mu.Unlock()
+		s.met.jobFinished(ts.id, state)
+		s.diag.emit(wire.DiagEvent{Type: wire.DiagJobFinished, Tenant: j.tenant,
+			Job: j.id, State: state, Points: j.doneNow(), Reason: j.errNow()})
 	}()
 	defer j.cancel()
 	idx := 0
 	progress := func(ev hotnoc.Event) {
+		// The pipeline stage the job is in, for live introspection on
+		// GET /v1/jobs/{id}. Evaluate-done events mean the job reached
+		// the evaluation stage; start events mark the earlier stages.
+		switch ev.Stage {
+		case hotnoc.StageBuildStart:
+			j.setStage("build")
+		case hotnoc.StageCharacterizeStart:
+			j.setStage("characterize")
+		case hotnoc.StageEvaluateDone:
+			j.setStage("evaluate")
+		}
 		j.append(wire.EventProgress, wire.FromEvent(ev))
 	}
+	// Resolve the tenant's served-points counter once; the per-outcome
+	// cost is then a single atomic increment.
+	ptsCounter := s.met.pointsCounter(ts.id)
 	for out, err := range qj.sweep(j.ctx, qj.pts, progress) {
 		if err != nil {
 			state := wire.JobFailed
@@ -538,6 +637,9 @@ func (s *Server) runJob(ts *tenantState, qj *queuedJob) {
 		}
 		j.append(wire.EventOutcome, wire.FromOutcome(idx, out))
 		idx++
+		if ptsCounter != nil {
+			ptsCounter.Inc()
+		}
 		s.mu.Lock()
 		ts.points++
 		s.mu.Unlock()
@@ -628,6 +730,16 @@ func (s *Server) jobInfo(j *job) wire.JobInfo {
 
 func (s *Server) jobInfoLocked(j *job) wire.JobInfo {
 	info := j.snapshot()
+	if info.State == wire.JobRunning {
+		// A running job's pace is its own best predictor: extrapolate
+		// the mean per-point time over the remaining points. Before the
+		// first outcome there is nothing to extrapolate from.
+		if info.Done > 0 && info.Done < info.Points && !info.StartedAt.IsZero() {
+			elapsed := time.Since(info.StartedAt).Seconds()
+			info.EtaSec = elapsed / float64(info.Done) * float64(info.Points-info.Done)
+		}
+		return info
+	}
 	if info.State != wire.JobQueued {
 		return info
 	}

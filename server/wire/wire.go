@@ -292,8 +292,13 @@ type JobInfo struct {
 	Tenant string `json:"tenant,omitempty"`
 	Scale  int    `json:"scale"`
 	// Points is the grid size; Done counts outcomes delivered so far.
-	Points    int       `json:"points"`
-	Done      int       `json:"done"`
+	// The wire names are points_total/points_done so a progress consumer
+	// cannot mistake the pair for the submission's "points" grid field.
+	Points int `json:"points_total"`
+	Done   int `json:"points_done"`
+	// Stage is the pipeline stage the job most recently advanced through
+	// ("build", "characterize", "evaluate"); present only while running.
+	Stage     string    `json:"stage,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 	// StartedAt is when the scheduler dispatched the job; zero
 	// (omitted) while it is still queued.
@@ -306,9 +311,11 @@ type JobInfo struct {
 	// weighted-fair scheduler may reorder across tenants, so this is
 	// an estimate.
 	QueuePos int `json:"queue_pos,omitempty"`
-	// EtaSec is a rough seconds-until-dispatch estimate derived from
-	// the mean duration of completed jobs; omitted while the daemon
-	// has no history or the job is not queued.
+	// EtaSec is a rough seconds-to-completion estimate. Queued jobs
+	// derive it from the mean duration of completed jobs (omitted while
+	// the daemon has no history); running jobs extrapolate from their
+	// own pace, elapsed/done × remaining, once at least one point is
+	// done.
 	EtaSec float64 `json:"eta_sec,omitempty"`
 	// Error holds the failure message for failed or canceled jobs.
 	Error string `json:"error,omitempty"`
@@ -424,6 +431,54 @@ type WorkerInfo struct {
 // WorkerList is the response of GET /v1/workers.
 type WorkerList struct {
 	Workers []WorkerInfo `json:"workers"`
+}
+
+// Diagnostics event types on GET /v1/events, the daemon-wide lifecycle
+// stream. Job events carry the owning tenant and are delivered only to
+// that tenant's subscribers; infrastructure events (workers, leases)
+// are delivered to every subscriber.
+const (
+	// DiagJobSubmitted: a sweep was accepted (it may start running
+	// immediately or queue).
+	DiagJobSubmitted = "job-submitted"
+	// DiagJobQueued: admission found no free slot; the job waits for
+	// the weighted-fair scheduler.
+	DiagJobQueued = "job-queued"
+	// DiagJobDispatched: the scheduler moved the job into a run slot.
+	DiagJobDispatched = "job-dispatched"
+	// DiagJobFinished: the job reached a terminal state (see State).
+	DiagJobFinished = "job-finished"
+	// DiagTenantThrottled: a submission was refused with 429 (rate or
+	// queue bound).
+	DiagTenantThrottled = "tenant-throttled"
+	// DiagWorkerJoined / DiagWorkerLeft: fleet membership changes on a
+	// coordinator. Reason distinguishes a deregistration from a lease
+	// expiry or a dispatch failure.
+	DiagWorkerJoined = "worker-joined"
+	DiagWorkerLeft   = "worker-left"
+)
+
+// DiagEvent is one structured lifecycle event on the GET /v1/events SSE
+// diagnostics stream. Seq increments per daemon and orders the stream;
+// it doubles as the SSE event id, so a reconnecting consumer can resume
+// with Last-Event-ID (or ?since=) and skip the replayed prefix.
+type DiagEvent struct {
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"time"`
+	Type string    `json:"type"`
+	// Tenant scopes job events to their owner; empty on infrastructure
+	// events, which every subscriber sees.
+	Tenant string `json:"tenant,omitempty"`
+	// Job fields, on job-* and tenant-throttled events.
+	Job    string `json:"job,omitempty"`
+	State  string `json:"state,omitempty"`
+	Points int    `json:"points,omitempty"`
+	// Worker fields, on worker-* events from a coordinator.
+	Worker string `json:"worker,omitempty"`
+	URL    string `json:"url,omitempty"`
+	// Reason carries detail: why a tenant was throttled, why a worker
+	// left, how a job ended.
+	Reason string `json:"reason,omitempty"`
 }
 
 // ErrorMsg is the body of every non-2xx response and of EventError
