@@ -137,6 +137,7 @@ func main() {
 	metricsLog := flag.String("metrics-log", "", "append periodic JSON metric snapshots to this file (requires -metrics)")
 	metricsFlush := flag.Duration("metrics-flush", 15*time.Second, "how often -metrics-log snapshots are written")
 	eventBuffer := flag.Int("event-buffer", 0, "GET /v1/events diagnostics ring capacity (0 = 512)")
+	sseKeepAlive := flag.Duration("sse-keepalive", 0, "SSE keep-alive comment interval on idle event streams (0 = 15s)")
 	verbose := flag.Bool("v", false, "log requests")
 	flag.Parse()
 
@@ -182,6 +183,7 @@ func main() {
 		RetainFor:      *retainFor,
 		DisableMetrics: !*metrics,
 		EventBuffer:    *eventBuffer,
+		KeepAlive:      *sseKeepAlive,
 	}
 	if *coordinator {
 		cfg.Fleet = fleet.NewCoordinator(fleet.Config{Lease: *workerLease, Secret: *fleetSecret})

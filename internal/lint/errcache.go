@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCache makes the PR 5 cache-poisoning bug unrepresentable: a cache
+// entry must never hold a value alongside a non-nil error, or a failed
+// resolution replays for the cache's lifetime. Structs annotated
+// //hotnoc:errcache (the singleflight entry, disk-cache records) are the
+// protected shapes. The analyzer reports:
+//
+//   - any single statement that assigns both a value field and the
+//     error field of an annotated struct, unless the error operand is
+//     the nil literal — success writes the value, failure writes the
+//     error, never both;
+//   - storing a value bound together with an error (`v, err := f()`)
+//     into a map or an annotated struct field before a dominating
+//     `err != nil` check in the same block — the store must sit on the
+//     proven-success path.
+var ErrCache = &Analyzer{
+	Name: "errcache",
+	Doc:  "forbid caching a value together with a non-nil error in //hotnoc:errcache structs and resolver maps",
+	Run:  runErrCache,
+}
+
+// errcacheFact marks an annotated struct type's object.
+type errcacheFact struct{}
+
+func runErrCache(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Collect //hotnoc:errcache types. The annotation sits on the type
+	// declaration (or the grouped GenDecl).
+	local := false
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(ts.Doc, "errcache") || (len(gd.Specs) == 1 && hasDirective(gd.Doc, "errcache")) {
+					if obj := info.Defs[ts.Name]; obj != nil {
+						pass.ExportFact(obj, errcacheFact{})
+						local = true
+					}
+				}
+			}
+		}
+	}
+
+	// The map-store rule only applies in packages that host an
+	// annotated cache shape; elsewhere a pre-check map store has
+	// nothing to do with caching errors.
+	checkMaps := local
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrCacheFunc(pass, fd.Body, checkMaps)
+		}
+	}
+	return nil
+}
+
+// annotatedField reports whether sel resolves to a field of an
+// //hotnoc:errcache struct, and whether that field has type error.
+func annotatedField(pass *Pass, sel *ast.SelectorExpr) (isField, isErr bool) {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false, false
+	}
+	named, ok := types.Unalias(derefType(s.Recv())).(*types.Named)
+	if !ok {
+		return false, false
+	}
+	if _, ok := pass.Fact(named.Obj()); !ok {
+		return false, false
+	}
+	return true, types.Identical(s.Obj().Type(), types.Universe.Lookup("error").Type())
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func checkErrCacheFunc(pass *Pass, body *ast.BlockStmt, checkMaps bool) {
+	info := pass.Pkg.Info
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok {
+			checkCombinedStore(pass, assign)
+		}
+		if blk, ok := n.(*ast.BlockStmt); ok {
+			checkStoreBeforeCheck(pass, info, blk.List, checkMaps)
+		}
+		return true
+	})
+}
+
+// checkCombinedStore enforces rule one: one statement must not set both
+// a value field and the error field of an annotated struct unless the
+// error operand is literally nil.
+func checkCombinedStore(pass *Pass, assign *ast.AssignStmt) {
+	var errIdx = -1
+	valueFields := 0
+	for i, lhs := range assign.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		isField, isErr := annotatedField(pass, sel)
+		switch {
+		case isField && isErr:
+			errIdx = i
+		case isField:
+			valueFields++
+		}
+	}
+	if errIdx < 0 || valueFields == 0 {
+		return
+	}
+	// e.val, e.err = v, nil is the success write; any non-nil error
+	// operand (a variable, a call result) may cache a failure.
+	if len(assign.Rhs) == len(assign.Lhs) && isUntypedNil(pass.Pkg.Info, assign.Rhs[errIdx]) {
+		return
+	}
+	pass.Reportf(assign.Pos(), "assigns a value and an error into an //hotnoc:errcache struct in one statement; write the value only on the proven-success path (PR 5 poisoning rule)")
+}
+
+// checkStoreBeforeCheck enforces rule two over one statement list: after
+// `v, err := f()`, storing v into a cache shape before an `err != nil`
+// check in the same block.
+func checkStoreBeforeCheck(pass *Pass, info *types.Info, stmts []ast.Stmt, checkMaps bool) {
+	// pending maps each value object to the error object it was bound
+	// with; checked error objects clear their values.
+	pending := map[types.Object]types.Object{}
+
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			// A statement assigning the annotated error field is the
+			// combined-store rule's territory; reporting it here too
+			// would double up.
+			combined := false
+			for _, lhs := range s.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if isField, isErr := annotatedField(pass, sel); isField && isErr {
+						combined = true
+					}
+				}
+			}
+			// First: does this statement store a pending value?
+			for i, lhs := range s.Lhs {
+				if combined {
+					break
+				}
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				vObj := usedObject(info, rhs)
+				errObj, isPending := pending[vObj]
+				if !isPending {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					if checkMaps && isMapType(info.TypeOf(target.X)) {
+						pass.Reportf(s.Pos(), "stores %s into a map before checking %s; a failed resolution must never be cached", vObj.Name(), errObj.Name())
+					}
+				case *ast.SelectorExpr:
+					if isField, _ := annotatedField(pass, target); isField {
+						pass.Reportf(s.Pos(), "stores %s into an //hotnoc:errcache struct before checking %s", vObj.Name(), errObj.Name())
+					}
+				}
+			}
+			// Reassigning an error variable starts a fresh binding epoch.
+			for _, lhs := range s.Lhs {
+				if obj := definedOrUsedObject(info, lhs); obj != nil && isErrorObj(obj) {
+					clearPendingForErr(pending, obj)
+				}
+			}
+			// Then: does it bind new (value..., err) pairs?
+			if len(s.Lhs) >= 2 {
+				last := s.Lhs[len(s.Lhs)-1]
+				if errObj := definedOrUsedObject(info, last); errObj != nil && isErrorObj(errObj) {
+					for _, lhs := range s.Lhs[:len(s.Lhs)-1] {
+						if vObj := definedOrUsedObject(info, lhs); vObj != nil && vObj.Name() != "_" {
+							pending[vObj] = errObj
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if obj := checkedErrObject(info, s.Cond); obj != nil {
+				clearPendingForErr(pending, obj)
+			}
+		case *ast.ReturnStmt:
+			pending = map[types.Object]types.Object{}
+		}
+	}
+}
+
+func clearPendingForErr(pending map[types.Object]types.Object, errObj types.Object) {
+	for v, e := range pending {
+		if e == errObj {
+			delete(pending, v)
+		}
+	}
+}
+
+// checkedErrObject returns the error object an `err != nil` /
+// `err == nil` condition examines, if the condition is that shape.
+func checkedErrObject(info *types.Info, cond ast.Expr) types.Object {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		if isUntypedNil(info, pair[1]) {
+			if obj := usedObject(info, pair[0]); obj != nil && isErrorObj(obj) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+func definedOrUsedObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func isErrorObj(obj types.Object) bool {
+	return obj.Type() != nil && types.Identical(obj.Type(), types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hotnoc/internal/lint"
+	"hotnoc/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T)   { linttest.Run(t, lint.LockOrder, "lockorder") }
+func TestNoAlloc(t *testing.T)     { linttest.Run(t, lint.NoAlloc, "noalloc") }
+func TestDeterminism(t *testing.T) { linttest.Run(t, lint.Determinism, "determinism") }
+func TestErrCache(t *testing.T)    { linttest.Run(t, lint.ErrCache, "errcache") }
+
+// TestAllRegistersEveryAnalyzer pins the suite's surface: every
+// analyzer declared in the package is in All(), under its own name,
+// exactly once. cmd/hotnoclint registers All(), so this is half of the
+// multichecker meta-test (the other half lives in cmd/hotnoclint).
+func TestAllRegistersEveryAnalyzer(t *testing.T) {
+	want := map[string]*lint.Analyzer{
+		"lockorder":   lint.LockOrder,
+		"noalloc":     lint.NoAlloc,
+		"determinism": lint.Determinism,
+		"errcache":    lint.ErrCache,
+	}
+	got := lint.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+	seen := map[string]bool{}
+	for _, a := range got {
+		if seen[a.Name] {
+			t.Errorf("All() registers %q twice", a.Name)
+		}
+		seen[a.Name] = true
+		if want[a.Name] != a {
+			t.Errorf("All() entry %q is not the package-level analyzer of that name", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader builds type-checked Packages without golang.org/x/tools:
+// `go list -json` enumerates the module's packages and their files, the
+// stdlib parser and type checker do the rest. Module-internal imports
+// are served from the packages we already checked (the load happens in
+// dependency order), so only standard-library imports fall through to
+// the compiler's source importer — which makes the whole load
+// independent of the process working directory.
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// chainImporter serves module packages from the in-memory map and
+// defers everything else (the standard library) to the source importer.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.ImporterFrom
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}
+
+// newInfo returns a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadModule loads and type-checks the module packages matching
+// patterns (e.g. "./...") under the module rooted at dir, returned in
+// dependency order. Only non-test Go files are loaded: the analyzers
+// guard production code, and tests exercise patterns (fake clocks,
+// table maps) the invariants do not constrain.
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := map[string]*listedPackage{}
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		byPath[lp.ImportPath] = &lp
+		order = append(order, lp.ImportPath)
+	}
+	sort.Strings(order)
+
+	// Topological order over module-internal imports.
+	var topo []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		lp, ok := byPath[path]
+		if !ok || state[path] == 2 {
+			return nil
+		}
+		if state[path] == 1 {
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = 1
+		imps := append([]string(nil), lp.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		topo = append(topo, path)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	var pkgs []*Package
+	for _, path := range topo {
+		lp := byPath[path]
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		imp.local[path] = tpkg
+		pkgs = append(pkgs, &Package{
+			ImportPath: path,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadFixture loads analysistest-style fixture packages from
+// srcRoot/<name> directories. A fixture package's import path is its
+// directory name, and fixtures may import each other (the obs stub);
+// anything else resolves against the standard library. Requested
+// packages and their fixture dependencies come back in dependency
+// order.
+func LoadFixture(srcRoot string, names ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	var pkgs []*Package
+	state := map[string]int{}
+	var load func(name string) error
+	load = func(name string) error {
+		if state[name] == 2 {
+			return nil
+		}
+		if state[name] == 1 {
+			return fmt.Errorf("fixture import cycle through %s", name)
+		}
+		state[name] = 1
+		dir := filepath.Join(srcRoot, name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %s: %w", name, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("fixture package %s has no Go files", name)
+		}
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if _, err := os.Stat(filepath.Join(srcRoot, path)); err == nil {
+					if err := load(path); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(name, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking fixture %s: %w", name, err)
+		}
+		imp.local[name] = tpkg
+		pkgs = append(pkgs, &Package{
+			ImportPath: name,
+			Dir:        dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+		state[name] = 2
+		return nil
+	}
+	for _, name := range names {
+		if err := load(name); err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,80 @@
+// Package determinism exercises the bitwise-stability analyzer.
+//
+//hotnoc:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// merge folds counters in map order: the canonical nondeterminism bug.
+func merge(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `ranges over a map`
+		sum += v
+	}
+	return sum
+}
+
+// mergeSorted is the blessed shape: collect the keys, sort, then
+// consume in sorted order.
+func mergeSorted(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// stamp reads the wall clock inside the deterministic scope.
+func stamp() int64 {
+	t := time.Now() // want `calls time\.Now`
+	return t.Unix()
+}
+
+// elapsed is allowed when justified: metric-only timing that never
+// touches the output carries the audit-trail suppression.
+func elapsed(since time.Time) float64 {
+	d := time.Since(since) //hotnoc:allow determinism metric-only timing, not part of the output
+	return d.Seconds()
+}
+
+// jitter consumes the global generator; perturb threads a seeded one.
+func jitter() float64 {
+	return rand.Float64() // want `calls math/rand\.Float64 \(global generator\)`
+}
+
+func perturb(seed int64, xs []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range xs {
+		xs[i] += rng.Float64() * 1e-9
+	}
+}
+
+// race merges two channels by completion order.
+func race(a, b <-chan float64) float64 {
+	select { // want `selects over 2 channels`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// drain is permitted: one communication plus a default is a
+// non-blocking poll, not an ordering race.
+func drain(ch <-chan float64) (float64, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,78 @@
+// Package errcache exercises the never-cache-an-error analyzer against
+// a miniature of the singleflight resolver.
+package errcache
+
+import "sync"
+
+// entry is one key's resolution slot.
+//
+//hotnoc:errcache
+type entry struct {
+	mu   sync.Mutex
+	done bool
+	val  float64
+	err  error
+}
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	results map[string]float64
+}
+
+// poisonCombined writes the value and the error in one statement: the
+// PR 5 bug shape, reported regardless of control flow.
+func (c *cache) poisonCombined(e *entry, compute func() (float64, error)) {
+	v, err := compute()
+	e.val, e.err, e.done = v, err, true // want `assigns a value and an error into an //hotnoc:errcache struct in one statement`
+}
+
+// storeSuccess is the legal success write: the error operand is
+// literally nil, so nothing failed can be cached.
+func (c *cache) storeSuccess(e *entry, v float64) {
+	e.val, e.err, e.done = v, nil, true
+}
+
+// storeChecked is the legal two-phase shape: failure writes only the
+// error, success writes only the value.
+func (c *cache) storeChecked(e *entry, compute func() (float64, error)) {
+	v, err := compute()
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.val, e.done = v, true
+}
+
+// poisonMap caches the computed value into the results map before
+// looking at the error.
+func (c *cache) poisonMap(key string, compute func() (float64, error)) error {
+	v, err := compute()
+	c.results[key] = v // want `stores v into a map before checking err`
+	return err
+}
+
+// storeMapChecked is the permitted order: prove success, then cache.
+func (c *cache) storeMapChecked(key string, compute func() (float64, error)) error {
+	v, err := compute()
+	if err != nil {
+		return err
+	}
+	c.results[key] = v
+	return nil
+}
+
+// poisonField stores into the annotated struct before the check.
+func (c *cache) poisonField(e *entry, compute func() (float64, error)) error {
+	v, err := compute()
+	e.val = v // want `stores v into an //hotnoc:errcache struct before checking err`
+	return err
+}
+
+// unrelated shows the entry map itself is storable pre-check: only the
+// value bound with the error is suspect, not every map write.
+func (c *cache) unrelated(key string, e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = e
+}

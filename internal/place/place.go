@@ -10,6 +10,8 @@
 // evaluation from such a mapping puts runtime reconfiguration in a
 // worst-case light: design-time optimisation has already flattened the
 // profile as far as a static mapping can.
+//
+//hotnoc:deterministic
 package place
 
 import (

@@ -205,6 +205,8 @@ func (l Leakage) At(tC float64) float64 {
 // Into writes the per-block leakage power map for the given die
 // temperatures into dst. The method value l.Into satisfies the thermal
 // package's allocation-free schedule hook (thermal.CycleOptions.Leak).
+//
+//hotnoc:noalloc
 func (l Leakage) Into(dst, dieTemps []float64) {
 	if len(dst) != len(dieTemps) {
 		panic(fmt.Sprintf("power: leakage buffer has %d entries for %d blocks",
@@ -236,6 +238,8 @@ func Permute(m []float64, dst []int) []float64 {
 // PermuteInto is Permute without the allocation: out[dst[i]] = m[i]. dst
 // must be a bijection onto out's indices (it always is for a placement),
 // so every entry of out is written.
+//
+//hotnoc:noalloc
 func PermuteInto(out, m []float64, dst []int) {
 	if len(m) != len(dst) {
 		panic(fmt.Sprintf("power: permuting %d-block map with %d-entry permutation",

@@ -92,6 +92,8 @@ func (m *metrics) charDone(hit bool, d time.Duration) {
 
 // evaluateDone records one thermal evaluation. This runs once per grid
 // point on the hot path; it is allocation-free.
+//
+//hotnoc:noalloc
 func (m *metrics) evaluateDone(d time.Duration) {
 	if m == nil {
 		return
@@ -101,6 +103,8 @@ func (m *metrics) evaluateDone(d time.Duration) {
 }
 
 // addDecodes accumulates engine decodes from one characterization.
+//
+//hotnoc:noalloc
 func (m *metrics) addDecodes(n uint64) {
 	if m == nil {
 		return

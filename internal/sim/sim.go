@@ -13,6 +13,8 @@
 // bitwise identical to a serial walk of the same grid: every stage of the
 // pipeline is deterministic, workers operate on independent System clones,
 // and outcomes stream in point order regardless of completion order.
+//
+//hotnoc:deterministic
 package sim
 
 import (
@@ -319,6 +321,7 @@ func (r *Runner) builtFor(config string, prog func(Event)) (*chipcfg.Built, erro
 	if first {
 		emit(prog, Event{Stage: StageBuildStart, Config: config, Scale: r.opts.Scale, Point: -1})
 	}
+	//hotnoc:allow determinism wall-clock metric timing only
 	start := time.Now()
 	built, hit, err := r.builds.Get(config, r.opts.Scale)
 	if err != nil {
@@ -339,6 +342,7 @@ func (r *Runner) builtFor(config string, prog func(Event)) (*chipcfg.Built, erro
 		} else {
 			r.buildMisses.Add(1)
 		}
+		//hotnoc:allow determinism wall-clock metric timing only
 		r.met.buildDone(hit, time.Since(start))
 		emit(prog, Event{Stage: StageBuildDone, Config: config, Scale: r.opts.Scale, Point: -1,
 			CacheHit: hit})
@@ -388,6 +392,7 @@ func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event), se
 	}
 	key := CharKey{Config: config, Scheme: scheme.Name, Scale: r.opts.Scale}
 	account := seen.first(key)
+	//hotnoc:allow determinism wall-clock metric timing only
 	start := time.Now()
 	data, hit, err := r.chars.Get(key, built.System.Grid.N(), func() (*core.CharData, error) {
 		emit(prog, Event{Stage: StageCharacterizeStart, Config: config, Scale: r.opts.Scale,
@@ -415,6 +420,7 @@ func (r *Runner) charFor(config string, scheme core.Scheme, prog func(Event), se
 		} else {
 			r.charMisses.Add(1)
 		}
+		//hotnoc:allow determinism wall-clock metric timing only
 		r.met.charDone(hit, time.Since(start))
 		emit(prog, Event{Stage: StageCharacterizeDone, Config: config, Scale: r.opts.Scale,
 			Scheme: scheme.Name, Point: -1, CacheHit: hit})
@@ -564,6 +570,7 @@ func (r *Runner) StreamWith(ctx context.Context, pts []Point, progress func(Even
 		go func() {
 			defer close(taskCh)
 			for _, t := range tasks {
+				//hotnoc:allow determinism task feed vs. cancel; which tasks run affects timing, never the per-point outcome
 				select {
 				case taskCh <- t:
 				case <-ctx.Done():
@@ -577,6 +584,7 @@ func (r *Runner) StreamWith(ctx context.Context, pts []Point, progress func(Even
 			select {
 			case <-ready[i]:
 			default:
+				//hotnoc:allow determinism failure/cancel unwind only; out[i] is fixed before ready[i] closes, so the yielded stream is order-independent
 				select {
 				case <-ready[i]:
 				case <-failed:
@@ -627,6 +635,7 @@ func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome
 		}
 		p := pts[idx]
 		o := Outcome{Point: p, Built: built}
+		//hotnoc:allow determinism wall-clock metric timing only; does not influence the outcome
 		evalStart := time.Now()
 		switch p.Kind() {
 		case KindReactive:
@@ -652,6 +661,7 @@ func (r *Runner) runTask(ctx context.Context, t task, pts []Point, out []Outcome
 			}
 			o.Result = res
 		}
+		//hotnoc:allow determinism wall-clock metric timing only; the outcome itself is already computed
 		r.met.evaluateDone(time.Since(evalStart))
 		out[idx] = o
 		close(ready[idx])

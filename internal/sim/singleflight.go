@@ -30,6 +30,11 @@ type singleflight[K comparable, V any] struct {
 // report whether *its* call skipped the expensive stage — a caller that
 // merely waited on another goroutine's in-flight compute is not a hit.
 // lastTouch debounces the on-disk LRU touch on memory hits.
+//
+// The errcache analyzer enforces the no-poisoning rule here: val must
+// never be stored alongside (or before checking) a non-nil err.
+//
+//hotnoc:errcache
 type sfEntry[V any] struct {
 	mu       sync.Mutex
 	done     bool

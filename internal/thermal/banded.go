@@ -226,6 +226,8 @@ func checkSymmetricDominant(m *Dense) error {
 // subtraction per in-band entry, final division by the pivot) is exactly
 // solveCols' per-column sequence, which is what makes a batched solve
 // bitwise identical to repeated single solves.
+//
+//hotnoc:noalloc
 func (f *BandedLU) solveSingle(x []float64) {
 	nb, k, stride := f.nb, f.k, f.stride
 	for i := 1; i < nb; i++ {
@@ -263,6 +265,8 @@ func (f *BandedLU) solveSingle(x []float64) {
 // c). The per-column arithmetic is identical for every ncols and matches
 // solveSingle, so a batched solve is bitwise identical to ncols sequential
 // single solves.
+//
+//hotnoc:noalloc
 func (f *BandedLU) solveCols(x []float64, ncols int) {
 	nb, k, stride := f.nb, f.k, f.stride
 	// Forward substitution with unit-diagonal L.
@@ -311,6 +315,8 @@ func (f *BandedLU) solveCols(x []float64, ncols int) {
 
 // Solve solves M·x = b into dst, both in node order. dst and b may alias.
 // It is allocation-free.
+//
+//hotnoc:noalloc
 func (f *BandedLU) Solve(dst, b []float64) {
 	if len(dst) != f.n || len(b) != f.n {
 		panic("thermal: banded Solve dimension mismatch")
@@ -345,6 +351,8 @@ func (f *BandedLU) Solve(dst, b []float64) {
 // influence-matrix construction feeds the identity block through it — and
 // each column's result is bitwise identical to a single Solve of that
 // column.
+//
+//hotnoc:noalloc
 func (f *BandedLU) SolveBatch(dst, rhs []float64, ncols int) {
 	if ncols <= 0 {
 		panic(fmt.Sprintf("thermal: SolveBatch with %d columns", ncols))
@@ -353,10 +361,10 @@ func (f *BandedLU) SolveBatch(dst, rhs []float64, ncols int) {
 		panic("thermal: SolveBatch dimension mismatch")
 	}
 	if cap(f.xm) < f.nb*ncols {
-		f.xm = make([]float64, f.nb*ncols)
+		f.xm = make([]float64, f.nb*ncols) //hotnoc:allow noalloc amortized scratch growth; steady-state batches reuse it at 0 allocs/op
 	}
 	if cap(f.acc) < 2*ncols {
-		f.acc = make([]float64, 2*ncols)
+		f.acc = make([]float64, 2*ncols) //hotnoc:allow noalloc amortized scratch growth; steady-state batches reuse it at 0 allocs/op
 	}
 	x := f.xm[:f.nb*ncols]
 	acc := f.acc[:ncols]

@@ -239,6 +239,8 @@ func (nw *Network) stamp(i, j int, g float64) {
 
 // powerVector expands a per-block die power map (W) to the full node
 // vector; only die nodes dissipate.
+//
+//hotnoc:noalloc
 func (nw *Network) powerVector(dst, blockPower []float64) {
 	if len(blockPower) != nw.NDie {
 		panic(fmt.Sprintf("thermal: power map has %d entries for %d blocks",
@@ -259,6 +261,8 @@ func (nw *Network) DieTemps(full []float64) []float64 {
 
 // DieTempsInto is DieTemps without the allocation: it writes the die-layer
 // temperatures into dst, which must have NDie entries.
+//
+//hotnoc:noalloc
 func (nw *Network) DieTempsInto(dst, full []float64) {
 	if len(dst) != nw.NDie {
 		panic(fmt.Sprintf("thermal: die buffer has %d entries for %d blocks", len(dst), nw.NDie))

@@ -44,6 +44,8 @@ func (s *SteadySolver) Solve(blockPower []float64) []float64 {
 
 // SolveInto writes the steady-state die temperatures into dst (NDie
 // entries) without allocating.
+//
+//hotnoc:noalloc
 func (s *SteadySolver) SolveInto(dst, blockPower []float64) {
 	if len(dst) != s.nw.NDie {
 		panic(fmt.Sprintf("thermal: SolveInto dst has %d entries for %d blocks", len(dst), s.nw.NDie))
@@ -62,6 +64,8 @@ func (s *SteadySolver) SolveFull(blockPower []float64) []float64 {
 
 // SolveFullInto writes the full node temperature vector into dst (NNodes
 // entries) without allocating.
+//
+//hotnoc:noalloc
 func (s *SteadySolver) SolveFullInto(dst, blockPower []float64) {
 	if len(dst) != s.nw.NNodes {
 		panic(fmt.Sprintf("thermal: SolveFullInto dst has %d entries for %d nodes", len(dst), s.nw.NNodes))
@@ -70,6 +74,7 @@ func (s *SteadySolver) SolveFullInto(dst, blockPower []float64) {
 	copy(dst, s.t)
 }
 
+//hotnoc:noalloc
 func (s *SteadySolver) solveNodes(blockPower []float64) {
 	s.nw.powerVector(s.p, blockPower)
 	for i := range s.p {
@@ -186,6 +191,8 @@ func (inf *Influence) Temps(blockPower []float64) []float64 {
 
 // PeakTemp returns only the hottest block's temperature for a power map;
 // this is the placement objective, kept allocation-free.
+//
+//hotnoc:noalloc
 func (inf *Influence) PeakTemp(blockPower []float64) float64 {
 	peak := inf.Ambient
 	n := inf.N

@@ -94,6 +94,8 @@ func (tr *Transient) State() []float64 { return append([]float64(nil), tr.T...) 
 func (tr *Transient) Dt() float64 { return tr.dt }
 
 // Step advances one dt with the given per-block die power map (watts).
+//
+//hotnoc:noalloc
 func (tr *Transient) Step(blockPower []float64) {
 	tr.nw.powerVector(tr.pv, blockPower)
 	for i := range tr.rhs {
@@ -120,6 +122,8 @@ func (tr *Transient) Die() []float64 { return tr.nw.DieTemps(tr.T) }
 
 // DieInto writes the current die-layer temperatures into dst without
 // allocating; dst must have NDie entries.
+//
+//hotnoc:noalloc
 func (tr *Transient) DieInto(dst []float64) { tr.nw.DieTempsInto(dst, tr.T) }
 
 // ScheduleEntry is one segment of a piecewise-constant power schedule: the

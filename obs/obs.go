@@ -46,10 +46,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//hotnoc:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n. Counters only go up; negative deltas are a programming
 // error and there is no API for them.
+//
+//hotnoc:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -63,10 +67,14 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//hotnoc:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta (which may be negative) with a CAS
 // loop, so concurrent adjustments never lose updates.
+//
+//hotnoc:noalloc
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -111,6 +119,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//hotnoc:noalloc
 func (h *Histogram) Observe(v float64) {
 	idx := len(h.bounds)
 	for i, b := range h.bounds {

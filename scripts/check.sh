@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
-# check.sh mirrors CI locally: build, vet, tests, race detector over the
-# cache/streaming/service paths, the hotnocd service smoke, staticcheck
-# when installed, and a one-iteration bench smoke over the scaled-down
-# packages so bench code cannot rot.
+# check.sh mirrors CI locally: build, vet, tests, the full-tree race
+# detector, the hotnoclint invariant analyzers, the hotnocd service
+# smoke, staticcheck/govulncheck when installed, and a one-iteration
+# bench smoke over the scaled-down packages so bench code cannot rot.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,14 +12,21 @@ echo "== go vet" && go vet ./...
 echo "== go test" && go test ./...
 echo "== thermal differential (banded vs dense reference, batched, singular)" \
     && go test -count=1 -run 'TestBanded|TestSteadySolveBatch|TestHotLoopsAllocationFree' ./internal/thermal
-echo "== go test -race (cache + streaming + service + thermal + obs concurrency)" \
-    && go test -race ./internal/sim ./internal/core ./internal/thermal ./server ./server/fleet ./obs .
+echo "== go test -race (full tree)" && go test -race ./...
+echo "== hotnoclint (lockorder, noalloc, determinism, errcache)" \
+    && go run ./cmd/hotnoclint ./...
 echo "== service smoke (hotnocd + figure1/hotsim -server)" && sh scripts/service_smoke.sh
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck" && staticcheck ./...
 else
     echo "== staticcheck not installed; skipping (CI runs it)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck" && govulncheck ./...
+else
+    echo "== govulncheck not installed; skipping (CI runs it)"
 fi
 
 echo "== bench smoke (internal packages + obs, 1 iteration)"

@@ -141,6 +141,8 @@ func (s *Server) handleDiagEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	ka := time.NewTicker(s.keepAlive())
+	defer ka.Stop()
 	for {
 		batch, closed, more := s.diag.since(cursor)
 		wrote := false
@@ -162,6 +164,10 @@ func (s *Server) handleDiagEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-more:
+		case <-ka.C:
+			if !writeKeepAlive(w, flusher) {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}

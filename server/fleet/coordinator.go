@@ -43,12 +43,15 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"maps"
 	"net"
 	"net/http"
 	"net/url"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hotnoc"
@@ -80,8 +83,15 @@ type Config struct {
 type Coordinator struct {
 	cfg Config
 
-	mu      sync.Mutex
+	// mu is held while the event hook runs and while scrape-adjacent
+	// registration paths execute, so collectors and hooks must never
+	// acquire it back (self-deadlock); lockorder enforces this.
+	mu      sync.Mutex //hotnoc:scrapelocked
 	workers map[string]*Worker
+	// live mirrors len(workers) atomically so the metrics collector
+	// can report the worker-count gauge without touching mu at scrape
+	// time (the lockorder rule above).
+	live atomic.Int64
 	byURL   map[string]*Worker
 	nextID  int
 	// builds / chars are the coordinator-granted claims: which worker
@@ -412,6 +422,8 @@ func (c *Coordinator) Placement(ctx context.Context, config string, scale int) (
 // present and are summed over the workers that answered this fetch;
 // workers that miss the stats timeout contribute nothing to gauges but
 // stay listed in Workers().
+//
+//hotnoc:deterministic
 func (c *Coordinator) FleetStats(ctx context.Context) (labs []hotnoc.LabStats, tenants []wire.TenantStats) {
 	c.mu.Lock()
 	live := c.liveLocked()
@@ -468,7 +480,8 @@ func (c *Coordinator) FleetStats(ctx context.Context) (labs []hotnoc.LabStats, t
 	}
 	labTotals := c.ledger.labTotals()
 	var scales []int
-	for scale, ct := range labTotals {
+	for _, scale := range slices.Sorted(maps.Keys(labTotals)) {
+		ct := labTotals[scale]
 		agg, ok := byScale[scale]
 		if !ok {
 			agg = &hotnoc.LabStats{Scale: scale}
@@ -485,7 +498,8 @@ func (c *Coordinator) FleetStats(ctx context.Context) (labs []hotnoc.LabStats, t
 	}
 	tnTotals, weights := c.ledger.tenantTotals()
 	var tenantIDs []string
-	for id, ct := range tnTotals {
+	for _, id := range slices.Sorted(maps.Keys(tnTotals)) {
+		ct := tnTotals[id]
 		agg, ok := byTenant[id]
 		if !ok {
 			agg = &wire.TenantStats{ID: id}

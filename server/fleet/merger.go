@@ -1,3 +1,4 @@
+//hotnoc:deterministic
 package fleet
 
 import (

@@ -87,6 +87,7 @@ func (c *Coordinator) registerLocked(url string, capacity int) *Worker {
 	w.timer = time.AfterFunc(c.lease(), func() { c.expireWorker(id, "lease expired") })
 	c.workers[w.id] = w
 	c.byURL[url] = w
+	c.live.Store(int64(len(c.workers)))
 	if c.onEvent != nil {
 		c.onEvent(wire.DiagWorkerJoined, w.id, w.url, "")
 	}
@@ -109,6 +110,7 @@ func (c *Coordinator) expireWorker(id, reason string) {
 	w.timer.Stop()
 	close(w.gone)
 	delete(c.workers, id)
+	c.live.Store(int64(len(c.workers)))
 	if c.byURL[w.url] == w {
 		delete(c.byURL, w.url)
 	}

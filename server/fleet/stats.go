@@ -2,7 +2,8 @@ package fleet
 
 import (
 	"context"
-	"sort"
+	"maps"
+	"slices"
 	"sync"
 
 	"hotnoc"
@@ -153,17 +154,20 @@ func (l *statsLedger) observe(url string, st wire.Stats) {
 
 // labTotals returns the fleet-wide monotonic counters per scale, summed
 // over every URL ever observed.
+//
+//hotnoc:deterministic
 func (l *statsLedger) labTotals() map[int]labCounters {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := map[int]labCounters{}
-	for _, ul := range l.byURL {
-		for scale, last := range ul.labLast {
-			out[scale] = out[scale].add(ul.labBase[scale]).add(last)
+	for _, url := range slices.Sorted(maps.Keys(l.byURL)) {
+		ul := l.byURL[url]
+		for _, scale := range slices.Sorted(maps.Keys(ul.labLast)) {
+			out[scale] = out[scale].add(ul.labBase[scale]).add(ul.labLast[scale])
 		}
-		for scale, base := range ul.labBase {
+		for _, scale := range slices.Sorted(maps.Keys(ul.labBase)) {
 			if _, ok := ul.labLast[scale]; !ok {
-				out[scale] = out[scale].add(base)
+				out[scale] = out[scale].add(ul.labBase[scale])
 			}
 		}
 	}
@@ -172,23 +176,26 @@ func (l *statsLedger) labTotals() map[int]labCounters {
 
 // tenantTotals returns the fleet-wide monotonic tenant counters and the
 // most recently observed weight per tenant.
+//
+//hotnoc:deterministic
 func (l *statsLedger) tenantTotals() (map[string]tenantCounters, map[string]int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := map[string]tenantCounters{}
 	weights := map[string]int{}
-	for _, ul := range l.byURL {
-		for id, last := range ul.tnLast {
-			out[id] = out[id].add(ul.tnBase[id]).add(last)
+	for _, url := range slices.Sorted(maps.Keys(l.byURL)) {
+		ul := l.byURL[url]
+		for _, id := range slices.Sorted(maps.Keys(ul.tnLast)) {
+			out[id] = out[id].add(ul.tnBase[id]).add(ul.tnLast[id])
 		}
-		for id, base := range ul.tnBase {
+		for _, id := range slices.Sorted(maps.Keys(ul.tnBase)) {
 			if _, ok := ul.tnLast[id]; !ok {
-				out[id] = out[id].add(base)
+				out[id] = out[id].add(ul.tnBase[id])
 			}
 		}
 	}
-	for id, w := range l.tnWeight {
-		weights[id] = w
+	for _, id := range slices.Sorted(maps.Keys(l.tnWeight)) {
+		weights[id] = l.tnWeight[id]
 	}
 	return out, weights
 }
@@ -196,23 +203,22 @@ func (l *statsLedger) tenantTotals() (map[string]tenantCounters, map[string]int)
 // perWorker returns each observed worker URL's monotonic counters,
 // summed over scales, sorted by URL — the per-worker series on the
 // coordinator's /metrics.
+//
+//hotnoc:deterministic
 func (l *statsLedger) perWorker() (urls []string, counters []labCounters) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for url := range l.byURL {
-		urls = append(urls, url)
-	}
-	sort.Strings(urls)
+	urls = slices.Sorted(maps.Keys(l.byURL))
 	counters = make([]labCounters, len(urls))
 	for i, url := range urls {
 		ul := l.byURL[url]
 		var sum labCounters
-		for scale, last := range ul.labLast {
-			sum = sum.add(ul.labBase[scale]).add(last)
+		for _, scale := range slices.Sorted(maps.Keys(ul.labLast)) {
+			sum = sum.add(ul.labBase[scale]).add(ul.labLast[scale])
 		}
-		for scale, base := range ul.labBase {
+		for _, scale := range slices.Sorted(maps.Keys(ul.labBase)) {
 			if _, ok := ul.labLast[scale]; !ok {
-				sum = sum.add(base)
+				sum = sum.add(ul.labBase[scale])
 			}
 		}
 		counters[i] = sum
@@ -258,7 +264,9 @@ func (c *Coordinator) MetricsCollector() obs.Collector {
 		emit(counter("hotnocd_fleet_cache_misses_total", "Fleet-wide characterization cache misses.", "", total.cacheMisses))
 		emit(counter("hotnocd_fleet_build_hits_total", "Fleet-wide build cache hits.", "", total.buildHits))
 		emit(counter("hotnocd_fleet_build_misses_total", "Fleet-wide build cache misses.", "", total.buildMisses))
+		// c.live, not c.WorkerCount(): the collector runs under the
+		// registry lock and must not take c.mu (lockorder rule).
 		emit(obs.Sample{Name: "hotnocd_fleet_workers", Type: obs.TypeGauge,
-			Help: "Live fleet workers.", Value: float64(c.WorkerCount())})
+			Help: "Live fleet workers.", Value: float64(c.live.Load())})
 	}
 }

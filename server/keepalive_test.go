@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hotnoc"
+	"hotnoc/client"
+	"hotnoc/server/wire"
+)
+
+// TestSSEKeepAliveJobStream: with a short Config.KeepAlive, an idle job
+// event stream carries ": keep-alive" SSE comment frames, and the real
+// events still arrive and terminate the stream around them.
+func TestSSEKeepAliveJobStream(t *testing.T) {
+	release := make(chan struct{})
+	srv, url := testServer(t, Config{KeepAlive: 5 * time.Millisecond})
+	srv.sweepHook = fakeSweep(release)
+	c := client.New(url, client.WithScale(testScale))
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	id, err := c.StartSweep(ctx, []hotnoc.SweepPoint{{Config: "A", Scheme: hotnoc.Rot(), Blocks: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The job is blocked on release, so after the replayed prefix the
+	// stream is idle and only the keep-alive ticker writes. Release the
+	// sweep once two comments have been observed; the stream must then
+	// deliver the outcome and done events and end.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events: %s", resp.Status)
+	}
+	comments := 0
+	var sawOutcome, sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == ": keep-alive":
+			comments++
+			if comments == 2 {
+				close(release)
+			}
+		case strings.HasPrefix(line, "event:"):
+			switch strings.TrimSpace(strings.TrimPrefix(line, "event:")) {
+			case wire.EventOutcome:
+				sawOutcome = true
+			case wire.EventDone:
+				sawDone = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if comments < 2 {
+		t.Fatalf("saw %d keep-alive comments on the idle stream, want >= 2", comments)
+	}
+	if !sawOutcome || !sawDone {
+		t.Fatalf("stream ended without the real events (outcome=%v done=%v)", sawOutcome, sawDone)
+	}
+}
+
+// TestSSEKeepAliveClientUnaffected: the client SDK streams a real sweep
+// against a daemon ticking keep-alives every millisecond — the quiet
+// build/characterize window spans many intervals, so comment frames
+// land mid-stream. The SDK ignores them per the SSE spec and every
+// outcome arrives intact.
+func TestSSEKeepAliveClientUnaffected(t *testing.T) {
+	_, url := testServer(t, Config{KeepAlive: time.Millisecond})
+	c := client.New(url, client.WithScale(testScale))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	pts := []hotnoc.SweepPoint{{Config: "A", Scheme: hotnoc.Rot(), Blocks: 1}}
+	outs, err := c.SweepAll(ctx, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(pts) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(pts))
+	}
+}
+
+// TestSSEKeepAliveDiagStream: the daemon-wide /v1/events diagnostics
+// stream also emits keep-alive comments while idle.
+func TestSSEKeepAliveDiagStream(t *testing.T) {
+	_, url := testServer(t, Config{KeepAlive: 5 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if sc.Text() == ": keep-alive" {
+			return
+		}
+	}
+	t.Fatalf("diagnostics stream ended without a keep-alive comment (%v)", sc.Err())
+}

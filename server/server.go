@@ -134,6 +134,13 @@ type Config struct {
 	// diagnostics ring: how many lifecycle events a reconnecting
 	// subscriber can replay. Zero means 512.
 	EventBuffer int
+	// KeepAlive is the SSE keep-alive interval: on every stream
+	// (/v1/sweeps/{id}/events and /v1/events) an idle connection
+	// receives an SSE comment line (": keep-alive") at this cadence, so
+	// proxies and load balancers with idle timeouts shorter than a long
+	// quiet job do not sever the stream. SSE clients ignore comment
+	// lines by spec. Zero means 15s.
+	KeepAlive time.Duration
 }
 
 // Server serves Lab sweeps over HTTP. Create one with New, mount it as an
@@ -145,7 +152,11 @@ type Server struct {
 
 	jobsWG sync.WaitGroup
 
-	mu       sync.Mutex
+	// mu is held around Lab creation, which registers instruments —
+	// taking the obs registry lock. Scrape-time code (collectors,
+	// GaugeFunc callbacks) must therefore never acquire it; the
+	// lockorder analyzer enforces the ordering.
+	mu       sync.Mutex //hotnoc:scrapelocked
 	draining bool
 	labs     map[int]*hotnoc.Lab
 	jobs     map[string]*job
@@ -779,6 +790,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	ka := time.NewTicker(s.keepAlive())
+	defer ka.Stop()
 	i := 0
 	for {
 		batch, complete, more := j.next(i)
@@ -796,10 +809,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-more:
+		case <-ka.C:
+			if !writeKeepAlive(w, flusher) {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// keepAlive is the SSE keep-alive interval (Config.KeepAlive).
+func (s *Server) keepAlive() time.Duration {
+	if s.cfg.KeepAlive > 0 {
+		return s.cfg.KeepAlive
+	}
+	return 15 * time.Second
+}
+
+// writeKeepAlive emits an SSE comment frame on an idle stream — clients
+// ignore comment lines by spec, but intermediaries with idle timeouts
+// see traffic. Reports whether the connection is still writable.
+func writeKeepAlive(w http.ResponseWriter, flusher http.Flusher) bool {
+	if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+		return false
+	}
+	flusher.Flush()
+	return true
 }
 
 // handleJobs lists the requesting tenant's jobs — each tenant sees only
@@ -990,6 +1026,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // mergeLabStats sums two per-scale counter sets, each already unique by
 // scale, into one sorted by scale.
+//
+//hotnoc:deterministic
 func mergeLabStats(a, b []hotnoc.LabStats) []hotnoc.LabStats {
 	byScale := map[int]*hotnoc.LabStats{}
 	var scales []int
@@ -1022,6 +1060,8 @@ func mergeLabStats(a, b []hotnoc.LabStats) []hotnoc.LabStats {
 // coordinator's own table by id. Where both sides know a tenant the
 // coordinator's weight is authoritative — workers see shard sub-jobs
 // anonymously, so in practice only the anonymous row overlaps.
+//
+//hotnoc:deterministic
 func mergeTenantStats(local, remote []wire.TenantStats) []wire.TenantStats {
 	byID := map[string]*wire.TenantStats{}
 	var ids []string
